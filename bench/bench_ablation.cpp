@@ -1,0 +1,138 @@
+// Experiment A1: ablations of DESIGN.md's called-out choices.
+//   (a) MM-Route's matcher: the paper's greedy maximal matching vs
+//       Hopcroft-Karp maximum matching (contention + runtime).
+//   (b) NN-Embed vs random embedding on the weighted-dilation
+//       objective.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/baselines.hpp"
+#include "oregami/mapper/mm_route.hpp"
+#include "oregami/mapper/nn_embed.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+void print_matcher_ablation() {
+  bench::print_header(
+      "A1a: MM-Route matcher ablation (worst phase contention)");
+  TextTable table({"workload", "network", "greedy maximal",
+                   "Hopcroft-Karp"});
+  for (const int dim : {3, 4, 5}) {
+    const int procs = 1 << dim;
+    const int n = procs * 2 - 1;
+    const auto cp = larcs::compile_source(
+        larcs::programs::nbody(), {{"n", n}, {"s", 1}, {"m", 1}});
+    const auto topo = Topology::hypercube(dim);
+    std::vector<int> placement(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      placement[static_cast<std::size_t>(t)] = t % procs;
+    }
+    RouteOptions greedy;
+    RouteOptions hk;
+    hk.matcher = RouteOptions::Matcher::HopcroftKarp;
+    const auto g = mm_route(cp.graph, placement, topo, greedy);
+    const auto h = mm_route(cp.graph, placement, topo, hk);
+    table.add_row(
+        {"nbody(" + std::to_string(n) + ")", topo.name(),
+         std::to_string(bench::worst_contention(g, topo.num_links()).max),
+         std::to_string(
+             bench::worst_contention(h, topo.num_links()).max)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+void print_embed_ablation() {
+  bench::print_header(
+      "A1b: NN-Embed vs random embedding (weighted dilation)");
+  TextTable table({"cluster graph", "network", "NN-Embed",
+                   "random (median of 9)"});
+  for (const int n : {8, 16}) {
+    Graph ring(n);
+    for (int i = 0; i < n; ++i) {
+      ring.add_edge(i, (i + 1) % n, 10);
+    }
+    for (const auto& topo : {Topology::hypercube(4), Topology::mesh(4, 4)}) {
+      if (n > topo.num_procs()) {
+        continue;
+      }
+      const auto nn = nn_embed(ring, topo);
+      std::vector<std::int64_t> random_costs;
+      for (std::uint64_t seed = 0; seed < 9; ++seed) {
+        random_costs.push_back(weighted_dilation(
+            ring, random_embedding(n, topo, seed), topo));
+      }
+      std::sort(random_costs.begin(), random_costs.end());
+      table.add_row({"ring(" + std::to_string(n) + ")", topo.name(),
+                     std::to_string(weighted_dilation(ring, nn, topo)),
+                     std::to_string(random_costs[4])});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+void BM_MmRouteGreedyMatcher(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int procs = 1 << dim;
+  const int n = procs * 2 - 1;
+  const auto cp = larcs::compile_source(
+      larcs::programs::nbody(), {{"n", n}, {"s", 1}, {"m", 1}});
+  const auto topo = Topology::hypercube(dim);
+  std::vector<int> placement(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    placement[static_cast<std::size_t>(t)] = t % procs;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mm_route(cp.graph, placement, topo));
+  }
+}
+BENCHMARK(BM_MmRouteGreedyMatcher)->Arg(4)->Arg(6);
+
+void BM_MmRouteHopcroftKarp(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int procs = 1 << dim;
+  const int n = procs * 2 - 1;
+  const auto cp = larcs::compile_source(
+      larcs::programs::nbody(), {{"n", n}, {"s", 1}, {"m", 1}});
+  const auto topo = Topology::hypercube(dim);
+  std::vector<int> placement(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    placement[static_cast<std::size_t>(t)] = t % procs;
+  }
+  RouteOptions options;
+  options.matcher = RouteOptions::Matcher::HopcroftKarp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mm_route(cp.graph, placement, topo, options));
+  }
+}
+BENCHMARK(BM_MmRouteHopcroftKarp)->Arg(4)->Arg(6);
+
+void BM_NnEmbed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph ring(n);
+  for (int i = 0; i < n; ++i) {
+    ring.add_edge(i, (i + 1) % n, 10);
+  }
+  const auto topo = Topology::hypercube(
+      static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn_embed(ring, topo));
+  }
+}
+BENCHMARK(BM_NnEmbed)->Args({16, 4})->Args({64, 6})->Args({256, 8});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_matcher_ablation();
+  print_embed_ablation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Experiment C1: the binomial-tree -> mesh embedding's average dilation
+// stays bounded by 1.2 for arbitrarily large trees (§4.1, [LRG+89]).
+// Prints the dilation series and times the embedding construction.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/mapper/binomial_mesh.hpp"
+#include "oregami/mapper/cbt_mesh.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+void print_figure() {
+  bench::print_header(
+      "C1: binomial tree -> square mesh, average dilation vs 1.2 bound");
+  TextTable table({"k", "nodes", "mesh", "avg dilation", "max dilation",
+                   "within 1.2"});
+  for (int k = 2; k <= 16; ++k) {
+    const auto e = embed_binomial_in_mesh(k);
+    table.add_row({std::to_string(k), std::to_string(1 << k),
+                   std::to_string(e.rows) + "x" + std::to_string(e.cols),
+                   format_fixed(e.average_dilation(), 4),
+                   std::to_string(e.max_dilation()),
+                   e.average_dilation() <= 1.2 ? "yes" : "NO"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "(paper: \"average dilation bounded by 1.2 for arbitrarily large "
+      "binomial tree and mesh\")\n");
+
+  bench::print_header(
+      "C1b: complete binary tree -> mesh (H-tree layout), for "
+      "comparison");
+  TextTable cbt({"h", "nodes", "grid", "avg dilation", "max dilation"});
+  for (int h = 2; h <= 14; h += 2) {
+    const auto e = embed_cbt_in_mesh(h);
+    cbt.add_row({std::to_string(h), std::to_string((1 << h) - 1),
+                 std::to_string(e.rows) + "x" + std::to_string(e.cols),
+                 format_fixed(e.average_dilation(), 4),
+                 std::to_string(e.max_dilation())});
+  }
+  std::fputs(cbt.to_string().c_str(), stdout);
+}
+
+void BM_EmbedBinomialInMesh(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embed_binomial_in_mesh(k));
+  }
+  state.counters["nodes"] = 1 << k;
+}
+BENCHMARK(BM_EmbedBinomialInMesh)->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

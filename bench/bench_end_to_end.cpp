@@ -1,0 +1,96 @@
+// Experiment C6: end-to-end value of the OREGAMI pipeline. For each
+// corpus workload, compare the METRICS completion-time model under
+// (a) the full MAPPER pipeline, (b) a structure-oblivious baseline
+// (round-robin contraction + random embedding + greedy routing), and
+// (c) block contraction + identity embedding + dimension-order routing
+// where defined.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/baselines.hpp"
+#include "oregami/mapper/driver.hpp"
+#include "oregami/metrics/metrics.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+std::int64_t baseline_completion(const TaskGraph& g, const Topology& topo,
+                                 std::uint64_t seed) {
+  const auto contraction =
+      round_robin_contraction(g.num_tasks(), topo.num_procs());
+  const auto embedding =
+      random_embedding(contraction.num_clusters, topo, seed);
+  std::vector<int> procs(static_cast<std::size_t>(g.num_tasks()));
+  for (int t = 0; t < g.num_tasks(); ++t) {
+    procs[static_cast<std::size_t>(t)] =
+        embedding.proc_of_cluster[static_cast<std::size_t>(
+            contraction.cluster_of_task[static_cast<std::size_t>(t)])];
+  }
+  const auto routing = route_greedy_shortest(g, procs, topo);
+  return compute_metrics(g, procs, routing, topo).completion;
+}
+
+void print_figure() {
+  bench::print_header(
+      "C6: completion-time model, OREGAMI vs oblivious baseline");
+  TextTable table({"workload", "network", "strategy", "OREGAMI",
+                   "baseline (median of 5)", "speedup"});
+  const auto catalog = larcs::programs::catalog();
+  for (const auto& entry : catalog) {
+    std::map<std::string, long> bindings(entry.example_bindings.begin(),
+                                         entry.example_bindings.end());
+    const auto ast = larcs::parse_program(entry.source);
+    const auto cp = larcs::compile(ast, bindings);
+    for (const auto& topo :
+         {Topology::hypercube(3), Topology::mesh(4, 4)}) {
+      const auto report = map_program(ast, cp, topo);
+      const auto oregami_completion =
+          compute_metrics(cp.graph, report.mapping, topo).completion;
+      std::vector<std::int64_t> base;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        base.push_back(baseline_completion(cp.graph, topo, seed));
+      }
+      std::sort(base.begin(), base.end());
+      const auto median = base[2];
+      table.add_row(
+          {entry.name, topo.name(), to_string(report.strategy),
+           std::to_string(oregami_completion), std::to_string(median),
+           format_fixed(static_cast<double>(median) /
+                            static_cast<double>(
+                                std::max<std::int64_t>(1,
+                                                       oregami_completion)),
+                        2)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("(speedup > 1 means the OREGAMI mapping's modelled "
+              "completion time is lower)\n");
+}
+
+void BM_FullPipelineNbody(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto ast = larcs::parse_program(larcs::programs::nbody());
+  const auto topo = Topology::hypercube(4);
+  for (auto _ : state) {
+    const auto cp = larcs::compile(ast, {{"n", n}, {"s", 2}, {"m", 4}});
+    const auto report = map_program(ast, cp, topo);
+    benchmark::DoNotOptimize(
+        compute_metrics(cp.graph, report.mapping, topo));
+  }
+}
+BENCHMARK(BM_FullPipelineNbody)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

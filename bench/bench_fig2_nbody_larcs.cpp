@@ -1,0 +1,79 @@
+// Experiment Fig 2: the n-body task graph generated from its LaRCS
+// description -- reproduces the structure of the paper's Fig 2 (ring +
+// chordal phases, the phase expression) and times the LaRCS pipeline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+void print_figure() {
+  bench::print_header("Fig 2: n-body task graph from LaRCS (n = 15)");
+  const std::string source = larcs::programs::nbody();
+  const auto cp =
+      larcs::compile_source(source, {{"n", 15}, {"s", 4}, {"m", 8}});
+  const auto& g = cp.graph;
+  std::printf("LaRCS source: %zu bytes\n", source.size());
+  std::printf("tasks: %d (node symmetric: %s)\n", g.num_tasks(),
+              g.declared_node_symmetric() ? "yes" : "no");
+  TextTable table({"phase", "edges", "rule", "volume"});
+  table.add_row({"ring", std::to_string(g.comm_phases()[0].edges.size()),
+                 "i -> (i+1) mod n", "m = 8"});
+  table.add_row({"chordal",
+                 std::to_string(g.comm_phases()[1].edges.size()),
+                 "i -> (i + (n+1)/2) mod n", "m = 8"});
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("phase expression: %s\n",
+              g.phase_expr()
+                  .to_string(g.comm_phases(), g.exec_phases())
+                  .c_str());
+  std::printf("chordal neighbour of task 0: task %d (paper: 8)\n",
+              g.comm_phases()[1].edges[0].dst);
+}
+
+void BM_ParseNbody(benchmark::State& state) {
+  const std::string source = larcs::programs::nbody();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(larcs::parse_program(source));
+  }
+}
+BENCHMARK(BM_ParseNbody);
+
+void BM_CompileNbody(benchmark::State& state) {
+  const auto ast = larcs::parse_program(larcs::programs::nbody());
+  const long n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        larcs::compile(ast, {{"n", n}, {"s", 4}, {"m", 8}}));
+  }
+  state.counters["tasks"] = static_cast<double>(n);
+}
+BENCHMARK(BM_CompileNbody)->Arg(63)->Arg(255)->Arg(1023)->Arg(4095);
+
+void BM_CompileJacobi(benchmark::State& state) {
+  const auto ast = larcs::parse_program(larcs::programs::jacobi());
+  const long n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        larcs::compile(ast, {{"n", n}, {"iters", 10}}));
+  }
+  state.counters["tasks"] = static_cast<double>(n * n);
+}
+BENCHMARK(BM_CompileJacobi)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

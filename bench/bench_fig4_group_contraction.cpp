@@ -1,0 +1,95 @@
+// Experiment Fig 4: group-theoretic contraction of the 8-task perfect
+// broadcast onto 4 processors -- reproduces the paper's element list
+// E0..E7, the subgroup {E0, E4} derived from comm3, and the
+// 2-messages-internalized-per-cluster property; then times the
+// contraction across circulant sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/group_contract.hpp"
+
+namespace {
+
+using namespace oregami;
+
+TaskGraph broadcast(int n) {
+  return larcs::compile_source(larcs::programs::broadcast_vote(n),
+                               {{"n", n}})
+      .graph;
+}
+
+void print_figure() {
+  bench::print_header(
+      "Fig 4: group-theoretic contraction, 8-task broadcast -> 4 procs");
+  const auto g = broadcast(8);
+  for (const auto& phase : g.comm_phases()) {
+    const auto perm = phase_permutation(phase, 8);
+    std::printf("%-6s = %s\n", phase.name.c_str(),
+                perm->to_cycle_string().c_str());
+  }
+  const auto outcome = group_theoretic_contraction(g, 4);
+  if (outcome.status != GroupContractStatus::Ok) {
+    std::printf("unexpected: %s\n", to_string(outcome.status).c_str());
+    return;
+  }
+  const auto& r = *outcome.result;
+  for (std::size_t i = 0; i < r.element_cycles.size(); ++i) {
+    std::printf("E%zu = %s\n", i, r.element_cycles[i].c_str());
+  }
+  std::printf("subgroup: {");
+  for (std::size_t i = 0; i < r.subgroup.size(); ++i) {
+    std::printf("%sE%zu", i ? ", " : "", r.subgroup[i]);
+  }
+  std::printf("}  normal: %s\n", r.subgroup_normal ? "yes" : "no");
+  std::printf("clusters:");
+  for (int c = 0; c < 4; ++c) {
+    std::printf(" {");
+    bool first = true;
+    for (int t = 0; t < 8; ++t) {
+      if (r.contraction.cluster_of_task[static_cast<std::size_t>(t)] == c) {
+        std::printf("%s%d", first ? "" : ",", t);
+        first = false;
+      }
+    }
+    std::printf("}");
+  }
+  std::printf("\ninternalized messages per cluster: %d (paper: 2)\n",
+              r.internalized_per_cluster);
+  std::printf("Sylow: |T|/|A| = 2 is prime -> balanced contraction "
+              "guaranteed: %s\n",
+              sylow_balanced_contraction_exists(8, 4) ? "yes" : "no");
+}
+
+void BM_GroupContraction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = broadcast(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group_theoretic_contraction(g, n / 4));
+  }
+  state.counters["tasks"] = n;
+}
+BENCHMARK(BM_GroupContraction)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PhasePermutationExtraction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = broadcast(n);
+  for (auto _ : state) {
+    for (const auto& phase : g.comm_phases()) {
+      benchmark::DoNotOptimize(phase_permutation(phase, n));
+    }
+  }
+}
+BENCHMARK(BM_PhasePermutationExtraction)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

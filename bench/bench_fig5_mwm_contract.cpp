@@ -1,0 +1,72 @@
+// Experiment Fig 5: Algorithm MWM-Contract on the reconstructed
+// 12-task / 3-processor example (B = 4): greedy pre-merge skips the
+// weight-15 edge, the maximum-weight matching finishes, total IPC = 6
+// (certified optimal by exhaustive search); then times MWM-Contract.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/mapper/mwm_contract.hpp"
+#include "oregami/mapper/paper_examples.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+void print_figure() {
+  bench::print_header(
+      "Fig 5: MWM-Contract, 12 tasks -> 3 processors (B = 4)");
+  const Graph g = paper::fig5_task_graph();
+  std::printf("task graph: %d tasks, %d edges, total weight %lld\n",
+              g.num_vertices(), g.num_edges(),
+              static_cast<long long>(g.total_weight()));
+  const auto result = mwm_contract(g, 3, 4);
+  TextTable table({"cluster", "tasks"});
+  for (int c = 0; c < result.contraction.num_clusters; ++c) {
+    std::string tasks;
+    for (int t = 0; t < g.num_vertices(); ++t) {
+      if (result.contraction.cluster_of_task[static_cast<std::size_t>(t)] ==
+          c) {
+        tasks += (tasks.empty() ? "" : " ") + std::to_string(t);
+      }
+    }
+    table.add_row({std::to_string(c), tasks});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("total IPC = %lld (paper: 6)\n",
+              static_cast<long long>(result.external_weight));
+  std::printf("exhaustive optimum  = %lld\n",
+              static_cast<long long>(
+                  brute_force_min_external_weight(g, 3, 4)));
+  std::printf("%s\n", result.description.c_str());
+}
+
+void BM_MwmContractRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tg = bench::random_task_graph(n, 0.25, 42);
+  const Graph g = tg.aggregate_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mwm_contract(g, 8));
+  }
+  state.counters["tasks"] = n;
+}
+BENCHMARK(BM_MwmContractRandom)->Arg(24)->Arg(48)->Arg(96)->Arg(192);
+
+void BM_MwmContractFig5(benchmark::State& state) {
+  const Graph g = paper::fig5_task_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mwm_contract(g, 3, 4));
+  }
+}
+BENCHMARK(BM_MwmContractFig5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment Fig 6: Algorithm MM-Route for the 15-body problem on an
+// 8-node hypercube -- reproduces the chordal-phase routing walkthrough:
+// the table of shortest-route choices per message, the first-hop
+// maximal-matching rounds, and the resulting (low) link contention;
+// then times MM-Route across machine sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/arch/routes.hpp"
+#include "oregami/graph/gray_code.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/baselines.hpp"
+#include "oregami/mapper/mm_route.hpp"
+#include "oregami/mapper/paper_examples.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+std::vector<int> fig6_placement() {
+  // The Fig 6a embedding: ring-contiguous pairs {2k, 2k+1} (task 14
+  // alone) on processor gray(k), so ring neighbours sit on adjacent
+  // processors and each chordal message i -> i+8 crosses the cube.
+  std::vector<int> procs(15);
+  for (int t = 0; t < 15; ++t) {
+    procs[static_cast<std::size_t>(t)] =
+        static_cast<int>(gray_code(static_cast<std::uint32_t>(t / 2)));
+  }
+  return procs;
+}
+
+void print_figure() {
+  bench::print_header(
+      "Fig 6: MM-Route, 15-body chordal phase on an 8-node hypercube");
+  const auto g = paper::fig6_nbody15();
+  const auto topo = Topology::hypercube(3);
+  const auto procs = fig6_placement();
+
+  // Fig 6b: table of possible shortest routes per chordal message.
+  TextTable table({"message", "from", "to", "#shortest routes",
+                   "first-hop choices"});
+  const auto& chordal = g.comm_phases()[1];
+  for (const auto& e : chordal.edges) {
+    const int src = procs[static_cast<std::size_t>(e.src)];
+    const int dst = procs[static_cast<std::size_t>(e.dst)];
+    std::string hops;
+    for (const int next : next_hop_choices(topo, src, dst)) {
+      hops += (hops.empty() ? "" : " ") + topo.proc_label(src) + "->" +
+              topo.proc_label(next);
+    }
+    table.add_row({std::to_string(e.src) + "-" + std::to_string(e.dst),
+                   topo.proc_label(src), topo.proc_label(dst),
+                   std::to_string(count_shortest_routes(topo, src, dst)),
+                   hops.empty() ? "(local)" : hops});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Fig 6c: the matching rounds.
+  std::vector<PhaseRouteTrace> trace;
+  const auto routing = mm_route(g, procs, topo, {}, &trace);
+  std::printf("\nchordal-phase matching rounds:\n");
+  for (const auto& round : trace[1].rounds) {
+    std::printf("  hop %d: %zu messages assigned distinct links\n",
+                round.hop, round.assignments.size());
+  }
+  const auto mm = bench::phase_contention(routing[1], topo.num_links());
+  std::printf("\nchordal contention: max %d, avg %.2f per used link\n",
+              mm.max, mm.avg);
+  const auto oblivious = route_greedy_shortest(g, procs, topo);
+  const auto ob = bench::phase_contention(oblivious[1], topo.num_links());
+  std::printf("phase-oblivious greedy baseline: max %d, avg %.2f\n",
+              ob.max, ob.avg);
+}
+
+void BM_MmRouteNbody(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int n = (1 << dim) * 2 - 1;  // ~2 tasks per processor
+  const auto cp = larcs::compile_source(
+      larcs::programs::nbody(), {{"n", n}, {"s", 1}, {"m", 1}});
+  const auto topo = Topology::hypercube(dim);
+  std::vector<int> procs(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    procs[static_cast<std::size_t>(t)] = t % (1 << dim);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mm_route(cp.graph, procs, topo));
+  }
+  state.counters["procs"] = 1 << dim;
+}
+BENCHMARK(BM_MmRouteNbody)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

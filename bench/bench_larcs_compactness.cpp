@@ -1,0 +1,69 @@
+// Experiment C5: "LaRCS code is much more space-efficient than an
+// adjacency matrix since it allows parametric descriptions" (§3); the
+// description is constant-size while the graph grows with n.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+std::size_t edge_list_bytes(const TaskGraph& g) {
+  std::size_t bytes = 0;
+  for (const auto& phase : g.comm_phases()) {
+    for (const auto& e : phase.edges) {
+      bytes += std::to_string(e.src).size() +
+               std::to_string(e.dst).size() +
+               std::to_string(e.volume).size() + 3;  // separators
+    }
+  }
+  return bytes;
+}
+
+void print_figure() {
+  bench::print_header(
+      "C5: LaRCS description size vs expanded graph size (n-body)");
+  const std::string source = larcs::programs::nbody();
+  TextTable table({"n", "LaRCS bytes", "edge-list bytes",
+                   "adjacency-matrix bits", "graph/LaRCS ratio"});
+  for (const long n : {15L, 63L, 255L, 1023L, 4095L}) {
+    const auto cp =
+        larcs::compile_source(source, {{"n", n}, {"s", 4}, {"m", 8}});
+    const auto bytes = edge_list_bytes(cp.graph);
+    table.add_row({std::to_string(n), std::to_string(source.size()),
+                   std::to_string(bytes), std::to_string(n * n),
+                   format_fixed(static_cast<double>(bytes) /
+                                    static_cast<double>(source.size()),
+                                1)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("(the LaRCS description is independent of n; the expanded "
+              "graph grows linearly, the adjacency matrix "
+              "quadratically)\n");
+}
+
+void BM_CompileVsSize(benchmark::State& state) {
+  const auto ast = larcs::parse_program(larcs::programs::nbody());
+  const long n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        larcs::compile(ast, {{"n", n}, {"s", 4}, {"m", 8}}));
+  }
+}
+BENCHMARK(BM_CompileVsSize)->Arg(15)->Arg(255)->Arg(4095);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

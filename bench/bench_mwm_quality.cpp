@@ -1,0 +1,120 @@
+// Experiment C3: MWM-Contract solution quality. (a) In the matching
+// regime (tasks <= 2P) the contraction is provably optimal -- certified
+// here against exhaustive search. (b) Beyond it, the greedy+matching
+// heuristic is compared against round-robin and contiguous-block
+// baselines on random weighted task graphs ([Lo88]'s simulation-style
+// comparison).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/mapper/baselines.hpp"
+#include "oregami/mapper/mwm_contract.hpp"
+#include "oregami/mapper/refine.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+std::int64_t external_weight(const Graph& g,
+                             const std::vector<int>& cluster_of_task) {
+  std::int64_t total = 0;
+  for (const auto& e : g.edges()) {
+    if (cluster_of_task[static_cast<std::size_t>(e.u)] !=
+        cluster_of_task[static_cast<std::size_t>(e.v)]) {
+      total += e.weight;
+    }
+  }
+  return total;
+}
+
+void print_optimality_table() {
+  bench::print_header("C3a: optimality in the matching regime (n <= 2P)");
+  TextTable table({"seed", "tasks", "procs", "MWM IPC", "optimal IPC",
+                   "gap"});
+  int exact = 0;
+  const int trials = 12;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    SplitMix64 rng(seed);
+    const int procs = static_cast<int>(3 + rng.next_below(3));
+    const int n = static_cast<int>(
+        procs + 2 + rng.next_below(static_cast<std::uint64_t>(procs) - 1));
+    const auto tg = bench::random_task_graph(n, 0.5, seed * 101 + 7);
+    const Graph g = tg.aggregate_graph();
+    const auto result = mwm_contract(g, procs, 2);
+    const auto optimal = brute_force_min_external_weight(g, procs, 2);
+    if (result.external_weight == optimal) {
+      ++exact;
+    }
+    table.add_row({std::to_string(seed), std::to_string(n),
+                   std::to_string(procs),
+                   std::to_string(result.external_weight),
+                   std::to_string(optimal),
+                   std::to_string(result.external_weight - optimal)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("exact optima: %d / %d (paper: optimal whenever tasks <= "
+              "2 x processors)\n",
+              exact, trials);
+}
+
+void print_heuristic_table() {
+  bench::print_header(
+      "C3b: heuristic regime vs baselines (IPC, lower is better)");
+  TextTable table({"tasks", "procs", "MWM-Contract", "MWM + KL refine",
+                   "blocks", "round-robin", "best?"});
+  for (const int n : {32, 64, 128}) {
+    for (const int procs : {4, 8}) {
+      std::int64_t mwm_total = 0;
+      std::int64_t refined_total = 0;
+      std::int64_t block_total = 0;
+      std::int64_t rr_total = 0;
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const auto tg = bench::random_task_graph(
+            n, 0.2, seed * 977 + static_cast<std::uint64_t>(n));
+        const Graph g = tg.aggregate_graph();
+        const auto mwm = mwm_contract(g, procs);
+        mwm_total += mwm.external_weight;
+        refined_total +=
+            refine_contraction(g, mwm.contraction, mwm.load_bound)
+                .external_after;
+        block_total += external_weight(
+            g, block_contraction(n, procs).cluster_of_task);
+        rr_total += external_weight(
+            g, round_robin_contraction(n, procs).cluster_of_task);
+      }
+      table.add_row(
+          {std::to_string(n), std::to_string(procs),
+           std::to_string(mwm_total / 5),
+           std::to_string(refined_total / 5),
+           std::to_string(block_total / 5), std::to_string(rr_total / 5),
+           (refined_total <= block_total && refined_total <= rr_total)
+               ? "yes"
+               : "NO"});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+void BM_MwmMatchingRegime(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int n = 2 * procs;
+  const auto tg = bench::random_task_graph(n, 0.5, 11);
+  const Graph g = tg.aggregate_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mwm_contract(g, procs, 2));
+  }
+}
+BENCHMARK(BM_MwmMatchingRegime)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_optimality_table();
+  print_heuristic_table();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment V1 (reproduction extension): validate METRICS' analytic
+// completion-time model against the discrete-event store-and-forward
+// simulator across the whole program corpus. The model is a lower
+// bound (it ignores head-of-line blocking); the two must agree on
+// ranking and stay within a small factor.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/driver.hpp"
+#include "oregami/metrics/metrics.hpp"
+#include "oregami/sim/network_sim.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+void print_figure() {
+  bench::print_header(
+      "V1: analytic completion model vs discrete-event simulation");
+  TextTable table({"workload", "network", "model", "simulated",
+                   "sim/model"});
+  int rank_inversions = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> pairs;
+  for (const auto& entry : larcs::programs::catalog()) {
+    std::map<std::string, long> bindings(entry.example_bindings.begin(),
+                                         entry.example_bindings.end());
+    const auto ast = larcs::parse_program(entry.source);
+    const auto cp = larcs::compile(ast, bindings);
+    for (const auto& topo :
+         {Topology::hypercube(3), Topology::mesh(4, 4)}) {
+      const auto report = map_program(ast, cp, topo);
+      const auto procs = report.mapping.proc_of_task();
+      const auto model =
+          compute_metrics(cp.graph, report.mapping, topo).completion;
+      const auto sim =
+          simulate(cp.graph, procs, report.mapping.routing, topo)
+              .total_cycles;
+      pairs.emplace_back(model, sim);
+      table.add_row({entry.name, topo.name(), std::to_string(model),
+                     std::to_string(sim),
+                     model > 0 ? format_fixed(static_cast<double>(sim) /
+                                                  static_cast<double>(model),
+                                              2)
+                               : "-"});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  // Rank agreement: count pair inversions between model and sim.
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+      const bool model_less = pairs[i].first < pairs[j].first;
+      const bool sim_less = pairs[i].second < pairs[j].second;
+      if (model_less != sim_less && pairs[i].first != pairs[j].first &&
+          pairs[i].second != pairs[j].second) {
+        ++rank_inversions;
+      }
+    }
+  }
+  std::printf("rank inversions between model and simulation: %d of %zu "
+              "pairs\n",
+              rank_inversions, pairs.size() * (pairs.size() - 1) / 2);
+}
+
+void BM_SimulateNbody(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto cp = larcs::compile_source(
+      larcs::programs::nbody(), {{"n", n}, {"s", 2}, {"m", 4}});
+  const auto topo = Topology::hypercube(4);
+  const auto report = map_computation(cp.graph, topo);
+  const auto procs = report.mapping.proc_of_task();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate(cp.graph, procs, report.mapping.routing, topo));
+  }
+}
+BENCHMARK(BM_SimulateNbody)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

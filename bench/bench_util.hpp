@@ -1,0 +1,83 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "oregami/core/mapping.hpp"
+#include "oregami/core/task_graph.hpp"
+#include "oregami/support/rng.hpp"
+
+namespace oregami::bench {
+
+/// Max/avg per-link contention of one routed phase.
+struct Contention {
+  int max = 0;
+  double avg = 0.0;
+};
+
+inline Contention phase_contention(const PhaseRouting& routing,
+                                   int num_links) {
+  std::vector<int> count(static_cast<std::size_t>(num_links), 0);
+  for (const auto& r : routing.route_of_edge) {
+    for (const int link : r.links) {
+      ++count[static_cast<std::size_t>(link)];
+    }
+  }
+  Contention c;
+  int used = 0;
+  long total = 0;
+  for (const int x : count) {
+    c.max = std::max(c.max, x);
+    if (x > 0) {
+      ++used;
+      total += x;
+    }
+  }
+  c.avg = used == 0 ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(used);
+  return c;
+}
+
+/// Worst contention over all phases.
+inline Contention worst_contention(const std::vector<PhaseRouting>& routing,
+                                   int num_links) {
+  Contention worst;
+  for (const auto& pr : routing) {
+    const Contention c = phase_contention(pr, num_links);
+    if (c.max > worst.max) {
+      worst.max = c.max;
+    }
+    worst.avg = std::max(worst.avg, c.avg);
+  }
+  return worst;
+}
+
+/// Random weighted task graph (single phase) for contraction benches.
+inline TaskGraph random_task_graph(int n, double density,
+                                   std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  TaskGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.add_task("t" + std::to_string(i));
+  }
+  const int phase = g.add_comm_phase("p");
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_double() < density) {
+        g.add_comm_edge(phase, u, v, rng.next_in(1, 20));
+      }
+    }
+  }
+  return g;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================ %s ================\n", title);
+}
+
+}  // namespace oregami::bench

@@ -1,0 +1,44 @@
+// Jacobi iteration on an n x n grid mapped to a smaller processor mesh
+// by block tiling (the canned mesh -> mesh entry), with a look at the
+// per-phase link metrics.
+//
+// Run:  ./jacobi_mesh [n] [procs_per_side]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/driver.hpp"
+#include "oregami/metrics/render.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oregami;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int side = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (n < 2 || side < 1 || side > n) {
+    std::fprintf(stderr, "usage: %s [n >= 2] [procs_per_side <= n]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  const auto ast = larcs::parse_program(larcs::programs::jacobi());
+  const auto compiled = larcs::compile(ast, {{"n", n}, {"iters", 50}});
+  std::printf("jacobi %dx%d grid (%d tasks) onto a %dx%d mesh\n\n", n, n,
+              compiled.graph.num_tasks(), side, side);
+
+  const Topology topo = Topology::mesh(side, side);
+  const auto report = map_program(ast, compiled, topo);
+  std::cout << "strategy: " << to_string(report.strategy) << "\n"
+            << report.details << "\n\n";
+
+  const auto metrics = compute_metrics(compiled.graph, report.mapping, topo);
+  std::cout << render_summary(metrics) << "\n";
+  std::cout << "tasks per processor:\n"
+            << render_ascii_layout(compiled.graph,
+                                   report.mapping.proc_of_task(), topo)
+            << "\n";
+  std::cout << render_link_table(metrics, topo);
+  return 0;
+}

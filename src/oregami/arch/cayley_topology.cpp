@@ -1,0 +1,72 @@
+#include "oregami/arch/cayley_topology.hpp"
+
+#include <algorithm>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+Topology cayley_topology(const PermutationGroup& group, std::string name) {
+  Graph links(static_cast<int>(group.order()));
+  for (std::size_t a = 0; a < group.order(); ++a) {
+    for (const std::size_t gen : group.generator_indices()) {
+      const std::size_t b = group.compose(a, gen);
+      if (a == b) {
+        continue;  // identity generator adds nothing
+      }
+      if (!links.has_edge(static_cast<int>(a), static_cast<int>(b))) {
+        links.add_edge(static_cast<int>(a), static_cast<int>(b));
+      }
+    }
+  }
+  return Topology::custom(std::move(name), std::move(links));
+}
+
+namespace {
+
+PermutationGroup symmetric_group(int n,
+                                 std::vector<Permutation> generators) {
+  long order = 1;
+  for (int i = 2; i <= n; ++i) {
+    order *= i;
+  }
+  auto group = PermutationGroup::generate(
+      generators, static_cast<std::size_t>(order));
+  OREGAMI_ASSERT(group.has_value() &&
+                     group->order() == static_cast<std::size_t>(order),
+                 "generators must generate the full symmetric group");
+  return *group;
+}
+
+}  // namespace
+
+Topology star_graph_network(int n) {
+  OREGAMI_ASSERT(n >= 2 && n <= 6, "star graph size out of range");
+  std::vector<Permutation> generators;
+  for (int i = 1; i < n; ++i) {
+    std::vector<int> image(static_cast<std::size_t>(n));
+    for (int x = 0; x < n; ++x) {
+      image[static_cast<std::size_t>(x)] = x;
+    }
+    std::swap(image[0], image[static_cast<std::size_t>(i)]);
+    generators.emplace_back(std::move(image));
+  }
+  return cayley_topology(symmetric_group(n, std::move(generators)),
+                         "star-graph(" + std::to_string(n) + ")");
+}
+
+Topology pancake_network(int n) {
+  OREGAMI_ASSERT(n >= 2 && n <= 6, "pancake graph size out of range");
+  std::vector<Permutation> generators;
+  for (int len = 2; len <= n; ++len) {
+    std::vector<int> image(static_cast<std::size_t>(n));
+    for (int x = 0; x < n; ++x) {
+      image[static_cast<std::size_t>(x)] = x < len ? len - 1 - x : x;
+    }
+    generators.emplace_back(std::move(image));
+  }
+  return cayley_topology(symmetric_group(n, std::move(generators)),
+                         "pancake(" + std::to_string(n) + ")");
+}
+
+}  // namespace oregami

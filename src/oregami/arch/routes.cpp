@@ -1,0 +1,224 @@
+#include "oregami/arch/routes.hpp"
+
+#include <algorithm>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+std::vector<int> next_hop_choices(const Topology& topo, int from, int dst) {
+  std::vector<int> choices;
+  if (from == dst) {
+    return choices;
+  }
+  const auto& dist = topo.distance_row(dst);
+  const int here = dist[static_cast<std::size_t>(from)];
+  for (const auto& a : topo.graph().neighbors(from)) {
+    if (dist[static_cast<std::size_t>(a.neighbor)] == here - 1) {
+      choices.push_back(a.neighbor);
+    }
+  }
+  std::sort(choices.begin(), choices.end());
+  return choices;
+}
+
+namespace {
+
+void enumerate_routes(const Topology& topo, int current, int dst,
+                      std::vector<int>& nodes, std::vector<Route>& out,
+                      std::size_t limit) {
+  if (limit != 0 && out.size() >= limit) {
+    return;
+  }
+  if (current == dst) {
+    out.push_back(route_from_nodes(topo, nodes));
+    return;
+  }
+  for (const int next : next_hop_choices(topo, current, dst)) {
+    nodes.push_back(next);
+    enumerate_routes(topo, next, dst, nodes, out, limit);
+    nodes.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Route> all_shortest_routes(const Topology& topo, int src,
+                                       int dst, std::size_t limit) {
+  std::vector<Route> out;
+  std::vector<int> nodes{src};
+  enumerate_routes(topo, src, dst, nodes, out, limit);
+  return out;
+}
+
+std::uint64_t count_shortest_routes(const Topology& topo, int src,
+                                    int dst) {
+  // Count over the shortest-path DAG by increasing distance from src.
+  const auto& from_src = topo.distance_row(src);
+  const int d = from_src[static_cast<std::size_t>(dst)];
+  OREGAMI_ASSERT(d >= 0, "count_shortest_routes: unreachable destination");
+  std::vector<int> order;
+  for (int v = 0; v < topo.num_procs(); ++v) {
+    const int dv = from_src[static_cast<std::size_t>(v)];
+    if (dv >= 0 && dv <= d &&
+        topo.distance(v, dst) == d - dv) {
+      order.push_back(v);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return from_src[static_cast<std::size_t>(a)] <
+           from_src[static_cast<std::size_t>(b)];
+  });
+  std::vector<std::uint64_t> ways(
+      static_cast<std::size_t>(topo.num_procs()), 0);
+  ways[static_cast<std::size_t>(src)] = 1;
+  for (const int v : order) {
+    if (v == src) {
+      continue;
+    }
+    std::uint64_t total = 0;
+    for (const auto& a : topo.graph().neighbors(v)) {
+      if (from_src[static_cast<std::size_t>(a.neighbor)] ==
+              from_src[static_cast<std::size_t>(v)] - 1 &&
+          topo.distance(a.neighbor, dst) ==
+              d - from_src[static_cast<std::size_t>(a.neighbor)]) {
+        total += ways[static_cast<std::size_t>(a.neighbor)];
+      }
+    }
+    ways[static_cast<std::size_t>(v)] = total;
+  }
+  return ways[static_cast<std::size_t>(dst)];
+}
+
+Route greedy_shortest_route(const Topology& topo, int src, int dst) {
+  std::vector<int> nodes{src};
+  int current = src;
+  while (current != dst) {
+    const auto choices = next_hop_choices(topo, current, dst);
+    OREGAMI_ASSERT(!choices.empty(), "destination must be reachable");
+    current = choices.front();
+    nodes.push_back(current);
+  }
+  return route_from_nodes(topo, std::move(nodes));
+}
+
+Route dimension_order_route(const Topology& topo, int src, int dst) {
+  std::vector<int> nodes{src};
+  switch (topo.family()) {
+    case TopoFamily::Hypercube: {
+      int current = src;
+      const int dim = topo.shape()[0];
+      for (int b = 0; b < dim; ++b) {
+        if (((current ^ dst) >> b) & 1) {
+          current ^= 1 << b;
+          nodes.push_back(current);
+        }
+      }
+      break;
+    }
+    case TopoFamily::Mesh: {
+      auto [r, c] = topo.coords2d(src);
+      const auto [dr, dc] = topo.coords2d(dst);
+      while (c != dc) {
+        c += (dc > c) ? 1 : -1;
+        nodes.push_back(topo.at2d(r, c));
+      }
+      while (r != dr) {
+        r += (dr > r) ? 1 : -1;
+        nodes.push_back(topo.at2d(r, c));
+      }
+      break;
+    }
+    case TopoFamily::Torus: {
+      auto [r, c] = topo.coords2d(src);
+      const auto [dr, dc] = topo.coords2d(dst);
+      const int rows = topo.shape()[0];
+      const int cols = topo.shape()[1];
+      // Step in the shorter wrap direction per dimension; ties go up.
+      auto step = [](int from, int to, int size) {
+        const int fwd = (to - from + size) % size;
+        const int back = (from - to + size) % size;
+        return fwd <= back ? 1 : -1;
+      };
+      const int cstep = step(c, dc, cols);
+      while (c != dc) {
+        c = (c + cstep + cols) % cols;
+        nodes.push_back(topo.at2d(r, c));
+      }
+      const int rstep = step(r, dr, rows);
+      while (r != dr) {
+        r = (r + rstep + rows) % rows;
+        nodes.push_back(topo.at2d(r, c));
+      }
+      break;
+    }
+    case TopoFamily::Ring: {
+      const int p = topo.num_procs();
+      const int fwd = (dst - src + p) % p;
+      const int back = (src - dst + p) % p;
+      const int dir = fwd <= back ? 1 : -1;
+      int current = src;
+      while (current != dst) {
+        current = (current + dir + p) % p;
+        nodes.push_back(current);
+      }
+      break;
+    }
+    case TopoFamily::Chain: {
+      int current = src;
+      while (current != dst) {
+        current += (dst > current) ? 1 : -1;
+        nodes.push_back(current);
+      }
+      break;
+    }
+    default:
+      throw MappingError(
+          "dimension-order routing is undefined for topology family '" +
+          to_string(topo.family()) + "'");
+  }
+  return route_from_nodes(topo, std::move(nodes));
+}
+
+Route route_from_nodes(const Topology& topo, std::vector<int> nodes) {
+  OREGAMI_ASSERT(!nodes.empty(), "a route needs at least one node");
+  Route route;
+  route.nodes = std::move(nodes);
+  for (std::size_t i = 0; i + 1 < route.nodes.size(); ++i) {
+    const auto link =
+        topo.link_between(route.nodes[i], route.nodes[i + 1]);
+    if (!link) {
+      throw MappingError("route steps between non-adjacent processors " +
+                         std::to_string(route.nodes[i]) + " and " +
+                         std::to_string(route.nodes[i + 1]));
+    }
+    route.links.push_back(*link);
+  }
+  return route;
+}
+
+bool is_valid_route(const Topology& topo, const Route& route, int src,
+                    int dst) {
+  if (route.nodes.empty() ||
+      route.links.size() + 1 != route.nodes.size()) {
+    return false;
+  }
+  if (route.nodes.front() != src || route.nodes.back() != dst) {
+    return false;
+  }
+  for (std::size_t i = 0; i < route.links.size(); ++i) {
+    const auto link = topo.link_between(route.nodes[i], route.nodes[i + 1]);
+    if (!link || *link != route.links[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_shortest_route(const Topology& topo, const Route& route, int src,
+                       int dst) {
+  return is_valid_route(topo, route, src, dst) &&
+         route.hops() == topo.distance(src, dst);
+}
+
+}  // namespace oregami

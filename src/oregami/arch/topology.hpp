@@ -1,0 +1,95 @@
+// Interconnection-network models (paper §1: "homogeneous processors
+// connected by some regular network topology" -- iPSC/2, NCUBE,
+// Transputer class machines).
+//
+// A Topology is an undirected link graph over processors [0, P), plus
+// family metadata (so canned mappings and dimension-order routing can
+// exploit structure) and a lazily cached all-pairs hop-distance table.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oregami/graph/graph.hpp"
+
+namespace oregami {
+
+enum class TopoFamily {
+  Custom,
+  Ring,
+  Chain,
+  Mesh,     ///< shape {rows, cols}
+  Torus,    ///< shape {rows, cols}
+  Hypercube,///< shape {dim}
+  CompleteBinaryTree,  ///< shape {levels}
+  Star,
+  Complete,
+  Butterfly,  ///< shape {k}: (k+1) ranks of 2^k switches
+  Mesh3D,     ///< shape {nx, ny, nz}
+};
+
+[[nodiscard]] std::string to_string(TopoFamily family);
+
+class Topology {
+ public:
+  /// Factories for the regular networks OREGAMI targets.
+  static Topology ring(int p);
+  static Topology chain(int p);
+  static Topology mesh(int rows, int cols);
+  static Topology torus(int rows, int cols);
+  static Topology hypercube(int dim);
+  static Topology complete_binary_tree(int levels);
+  static Topology star(int p);
+  static Topology complete(int p);
+  static Topology butterfly(int k);
+  static Topology mesh3d(int nx, int ny, int nz);
+
+  /// An arbitrary processor graph (family = Custom).
+  static Topology custom(std::string name, Graph links);
+
+  [[nodiscard]] int num_procs() const { return links_.num_vertices(); }
+  [[nodiscard]] int num_links() const { return links_.num_edges(); }
+  [[nodiscard]] const Graph& graph() const { return links_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TopoFamily family() const { return family_; }
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+
+  /// Link id joining processors u and v, or nullopt when not adjacent.
+  [[nodiscard]] std::optional<int> link_between(int u, int v) const;
+
+  /// Endpoints of link `l` (normalised u < v).
+  [[nodiscard]] std::pair<int, int> link_endpoints(int l) const;
+
+  /// Hop distance (BFS), cached one source row at a time.
+  [[nodiscard]] int distance(int u, int v) const;
+
+  /// Full distance row from `u` (cached).
+  [[nodiscard]] const std::vector<int>& distance_row(int u) const;
+
+  [[nodiscard]] int diameter() const;
+
+  /// Human label for a processor: plain index, mesh coordinates
+  /// "(r,c)", or binary address for hypercubes.
+  [[nodiscard]] std::string proc_label(int p) const;
+
+  /// Mesh/torus row-col coordinates of p. Requires a 2-D family.
+  [[nodiscard]] std::pair<int, int> coords2d(int p) const;
+
+  /// Processor at mesh/torus coordinates (r, c).
+  [[nodiscard]] int at2d(int r, int c) const;
+
+ private:
+  Topology(std::string name, TopoFamily family, std::vector<int> shape,
+           Graph links);
+
+  std::string name_;
+  TopoFamily family_;
+  std::vector<int> shape_;
+  Graph links_;
+  // Lazy per-source distance cache; mutable because distance queries are
+  // logically const. Not thread-safe by design (documented).
+  mutable std::vector<std::vector<int>> dist_rows_;
+};
+
+}  // namespace oregami

@@ -1,0 +1,84 @@
+#include "oregami/core/mapping.hpp"
+
+#include <algorithm>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+Contraction Contraction::identity(int num_tasks) {
+  Contraction c;
+  c.num_clusters = num_tasks;
+  c.cluster_of_task.resize(static_cast<std::size_t>(num_tasks));
+  for (int t = 0; t < num_tasks; ++t) {
+    c.cluster_of_task[static_cast<std::size_t>(t)] = t;
+  }
+  return c;
+}
+
+std::vector<int> Contraction::cluster_sizes() const {
+  std::vector<int> sizes(static_cast<std::size_t>(num_clusters), 0);
+  for (const int c : cluster_of_task) {
+    OREGAMI_ASSERT(c >= 0 && c < num_clusters, "cluster id out of range");
+    ++sizes[static_cast<std::size_t>(c)];
+  }
+  return sizes;
+}
+
+int Contraction::max_cluster_size() const {
+  const auto sizes = cluster_sizes();
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+void Contraction::validate(int num_tasks) const {
+  if (cluster_of_task.size() != static_cast<std::size_t>(num_tasks)) {
+    throw MappingError("contraction does not cover every task");
+  }
+  std::vector<bool> used(static_cast<std::size_t>(num_clusters), false);
+  for (const int c : cluster_of_task) {
+    if (c < 0 || c >= num_clusters) {
+      throw MappingError("contraction cluster id out of range");
+    }
+    used[static_cast<std::size_t>(c)] = true;
+  }
+  if (!std::all_of(used.begin(), used.end(), [](bool b) { return b; })) {
+    throw MappingError("contraction has an empty cluster");
+  }
+}
+
+void Embedding::validate(int num_procs) const {
+  std::vector<bool> used(static_cast<std::size_t>(num_procs), false);
+  for (const int p : proc_of_cluster) {
+    if (p < 0 || p >= num_procs) {
+      throw MappingError("embedding processor id out of range");
+    }
+    if (used[static_cast<std::size_t>(p)]) {
+      throw MappingError("embedding assigns two clusters to one processor");
+    }
+    used[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+std::vector<int> Mapping::proc_of_task() const {
+  std::vector<int> result;
+  result.reserve(contraction.cluster_of_task.size());
+  for (const int c : contraction.cluster_of_task) {
+    OREGAMI_ASSERT(
+        c >= 0 &&
+            static_cast<std::size_t>(c) < embedding.proc_of_cluster.size(),
+        "cluster id has no embedded processor");
+    result.push_back(embedding.proc_of_cluster[static_cast<std::size_t>(c)]);
+  }
+  return result;
+}
+
+int Mapping::task_processor(int t) const {
+  OREGAMI_ASSERT(
+      t >= 0 &&
+          static_cast<std::size_t>(t) < contraction.cluster_of_task.size(),
+      "task id out of range");
+  const int c = contraction.cluster_of_task[static_cast<std::size_t>(t)];
+  return embedding.proc_of_cluster[static_cast<std::size_t>(c)];
+}
+
+}  // namespace oregami

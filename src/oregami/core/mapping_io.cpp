@@ -1,0 +1,142 @@
+#include "oregami/core/mapping_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+void write_mapping(std::ostream& out, const Mapping& mapping,
+                   int num_procs) {
+  out << "oregami-mapping v1\n";
+  out << "tasks " << mapping.contraction.cluster_of_task.size()
+      << " clusters " << mapping.contraction.num_clusters << " procs "
+      << num_procs << " phases " << mapping.routing.size() << "\n";
+  out << "contraction";
+  for (const int c : mapping.contraction.cluster_of_task) {
+    out << ' ' << c;
+  }
+  out << "\nembedding";
+  for (const int p : mapping.embedding.proc_of_cluster) {
+    out << ' ' << p;
+  }
+  out << "\n";
+  for (const auto& phase : mapping.routing) {
+    out << "phase " << phase.route_of_edge.size() << "\n";
+    for (const auto& route : phase.route_of_edge) {
+      out << "route " << route.nodes.size();
+      for (const int node : route.nodes) {
+        out << ' ' << node;
+      }
+      out << ' ' << route.links.size();
+      for (const int link : route.links) {
+        out << ' ' << link;
+      }
+      out << "\n";
+    }
+  }
+}
+
+std::string mapping_to_string(const Mapping& mapping, int num_procs) {
+  std::ostringstream out;
+  write_mapping(out, mapping, num_procs);
+  return out.str();
+}
+
+namespace {
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  if (!(in >> token) || token != expected) {
+    throw MappingError("mapping file: expected '" + expected + "'" +
+                       (token.empty() ? "" : ", found '" + token + "'"));
+  }
+}
+
+long read_count(std::istream& in, const char* what, long max_value) {
+  long value = 0;
+  if (!(in >> value) || value < 0 || value > max_value) {
+    throw MappingError(std::string("mapping file: bad ") + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+Mapping read_mapping(std::istream& in, int* num_procs_out) {
+  expect_token(in, "oregami-mapping");
+  expect_token(in, "v1");
+  expect_token(in, "tasks");
+  const long tasks = read_count(in, "task count", 100'000'000);
+  expect_token(in, "clusters");
+  const long clusters = read_count(in, "cluster count", tasks);
+  expect_token(in, "procs");
+  const long procs = read_count(in, "processor count", 100'000'000);
+  expect_token(in, "phases");
+  const long phases = read_count(in, "phase count", 1'000'000);
+  if (num_procs_out != nullptr) {
+    *num_procs_out = static_cast<int>(procs);
+  }
+
+  Mapping mapping;
+  mapping.contraction.num_clusters = static_cast<int>(clusters);
+  mapping.contraction.cluster_of_task.resize(
+      static_cast<std::size_t>(tasks));
+  expect_token(in, "contraction");
+  for (auto& c : mapping.contraction.cluster_of_task) {
+    if (!(in >> c) || c < 0 || c >= clusters) {
+      throw MappingError("mapping file: bad contraction entry");
+    }
+  }
+  expect_token(in, "embedding");
+  mapping.embedding.proc_of_cluster.resize(
+      static_cast<std::size_t>(clusters));
+  for (auto& p : mapping.embedding.proc_of_cluster) {
+    if (!(in >> p) || p < 0 || p >= procs) {
+      throw MappingError("mapping file: bad embedding entry");
+    }
+  }
+  for (long k = 0; k < phases; ++k) {
+    expect_token(in, "phase");
+    const long edges = read_count(in, "edge count", 100'000'000);
+    PhaseRouting routing;
+    routing.route_of_edge.resize(static_cast<std::size_t>(edges));
+    for (auto& route : routing.route_of_edge) {
+      expect_token(in, "route");
+      const long nodes = read_count(in, "route node count", 1'000'000);
+      if (nodes == 0) {
+        throw MappingError("mapping file: a route needs >= 1 node");
+      }
+      route.nodes.resize(static_cast<std::size_t>(nodes));
+      for (auto& node : route.nodes) {
+        if (!(in >> node) || node < 0 || node >= procs) {
+          throw MappingError("mapping file: bad route node");
+        }
+      }
+      const long links = read_count(in, "route link count", 1'000'000);
+      if (links != nodes - 1) {
+        throw MappingError(
+            "mapping file: link count must be node count - 1");
+      }
+      route.links.resize(static_cast<std::size_t>(links));
+      for (auto& link : route.links) {
+        if (!(in >> link) || link < 0) {
+          throw MappingError("mapping file: bad route link");
+        }
+      }
+    }
+    mapping.routing.push_back(std::move(routing));
+  }
+  mapping.contraction.validate(static_cast<int>(tasks));
+  mapping.embedding.validate(static_cast<int>(procs));
+  return mapping;
+}
+
+Mapping mapping_from_string(const std::string& text, int* num_procs_out) {
+  std::istringstream in(text);
+  return read_mapping(in, num_procs_out);
+}
+
+}  // namespace oregami

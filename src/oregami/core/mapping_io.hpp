@@ -1,0 +1,40 @@
+// Plain-text serialisation of mappings, so a mapping computed once
+// (possibly hand-tuned through a METRICS session) can be stored next to
+// the program and reloaded at job-launch time.
+//
+// Format (line oriented, whitespace separated):
+//   oregami-mapping v1
+//   tasks <N> clusters <C> procs <P> phases <K>
+//   contraction <N ints>
+//   embedding <C ints>
+//   phase <edge-count>
+//   route <node-count> <nodes...> <link-count> <links...>   (per edge)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "oregami/core/mapping.hpp"
+
+namespace oregami {
+
+/// Writes `mapping` to `out`. `num_procs` is recorded for validation on
+/// load.
+void write_mapping(std::ostream& out, const Mapping& mapping,
+                   int num_procs);
+
+/// Convenience: serialise to a string.
+[[nodiscard]] std::string mapping_to_string(const Mapping& mapping,
+                                            int num_procs);
+
+/// Reads a mapping; throws MappingError on malformed input or
+/// structural inconsistencies (counts, ranges, route shapes). The
+/// caller should still run validate_mapping() against the task graph
+/// and topology it intends to use.
+[[nodiscard]] Mapping read_mapping(std::istream& in, int* num_procs_out = nullptr);
+
+/// Convenience: parse from a string.
+[[nodiscard]] Mapping mapping_from_string(const std::string& text,
+                                          int* num_procs_out = nullptr);
+
+}  // namespace oregami

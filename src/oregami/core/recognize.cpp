@@ -1,0 +1,486 @@
+#include "oregami/core/recognize.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "oregami/graph/gray_code.hpp"
+#include "oregami/graph/shortest_paths.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+std::string to_string(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::Unknown:
+      return "unknown";
+    case GraphFamily::Ring:
+      return "ring";
+    case GraphFamily::Chain:
+      return "chain";
+    case GraphFamily::Mesh:
+      return "mesh";
+    case GraphFamily::Hypercube:
+      return "hypercube";
+    case GraphFamily::CompleteBinaryTree:
+      return "complete-binary-tree";
+    case GraphFamily::BinomialTree:
+      return "binomial-tree";
+    case GraphFamily::Star:
+      return "star";
+    case GraphFamily::Complete:
+      return "complete";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool all_degrees_are(const Graph& g, int d) {
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) != d) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_tree(const Graph& g) {
+  return g.num_vertices() >= 1 &&
+         g.num_edges() == g.num_vertices() - 1 && is_connected(g);
+}
+
+}  // namespace
+
+std::optional<RecognizedFamily> detect_ring(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n < 3 || g.num_edges() != n || !all_degrees_are(g, 2) ||
+      !is_connected(g)) {
+    return std::nullopt;
+  }
+  RecognizedFamily result;
+  result.family = GraphFamily::Ring;
+  result.params = {n};
+  result.canonical_label.assign(static_cast<std::size_t>(n), -1);
+  int prev = -1;
+  int current = 0;
+  for (int pos = 0; pos < n; ++pos) {
+    result.canonical_label[static_cast<std::size_t>(current)] = pos;
+    for (const auto& a : g.neighbors(current)) {
+      if (a.neighbor != prev &&
+          result.canonical_label[static_cast<std::size_t>(a.neighbor)] ==
+              -1) {
+        prev = current;
+        current = a.neighbor;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<RecognizedFamily> detect_chain(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n == 1) {
+    return RecognizedFamily{GraphFamily::Chain, {1}, {0}};
+  }
+  if (n < 2 || g.num_edges() != n - 1 || !is_connected(g)) {
+    return std::nullopt;
+  }
+  std::vector<int> endpoints;
+  for (int v = 0; v < n; ++v) {
+    const int d = g.degree(v);
+    if (d == 1) {
+      endpoints.push_back(v);
+    } else if (d != 2) {
+      return std::nullopt;
+    }
+  }
+  if (endpoints.size() != 2) {
+    return std::nullopt;
+  }
+  RecognizedFamily result;
+  result.family = GraphFamily::Chain;
+  result.params = {n};
+  result.canonical_label.assign(static_cast<std::size_t>(n), -1);
+  int prev = -1;
+  int current = std::min(endpoints[0], endpoints[1]);
+  for (int pos = 0; pos < n; ++pos) {
+    result.canonical_label[static_cast<std::size_t>(current)] = pos;
+    for (const auto& a : g.neighbors(current)) {
+      if (a.neighbor != prev) {
+        prev = current;
+        current = a.neighbor;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<RecognizedFamily> detect_hypercube(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n == 0 || !is_power_of_two(static_cast<std::uint64_t>(n))) {
+    return std::nullopt;
+  }
+  const int d = floor_log2(static_cast<std::uint64_t>(n));
+  if (n == 1) {
+    return RecognizedFamily{GraphFamily::Hypercube, {0}, {0}};
+  }
+  if (!all_degrees_are(g, d) ||
+      g.num_edges() != n * d / 2 || !is_connected(g)) {
+    return std::nullopt;
+  }
+
+  // Label by BFS: root gets 0, its neighbors get single bits, and every
+  // deeper vertex's address is the OR of any two already-labeled
+  // neighbors (in Q_d those neighbors are subsets of size k-1 of the
+  // vertex's k-bit address). Verify the resulting labeling exactly.
+  std::vector<int> label(static_cast<std::size_t>(n), -1);
+  std::vector<int> level(static_cast<std::size_t>(n), -1);
+  std::queue<int> q;
+  label[0] = 0;
+  level[0] = 0;
+  int bit = 0;
+  for (const auto& a : g.neighbors(0)) {
+    label[static_cast<std::size_t>(a.neighbor)] = 1 << bit;
+    level[static_cast<std::size_t>(a.neighbor)] = 1;
+    q.push(a.neighbor);
+    ++bit;
+  }
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (const auto& a : g.neighbors(v)) {
+      const int w = a.neighbor;
+      if (level[static_cast<std::size_t>(w)] != -1) {
+        continue;
+      }
+      // Find two labeled neighbors of w at the previous level.
+      int lu = -1;
+      int lv = -1;
+      for (const auto& b : g.neighbors(w)) {
+        if (level[static_cast<std::size_t>(b.neighbor)] ==
+            level[static_cast<std::size_t>(v)]) {
+          if (lu == -1) {
+            lu = label[static_cast<std::size_t>(b.neighbor)];
+          } else if (label[static_cast<std::size_t>(b.neighbor)] != lu) {
+            lv = label[static_cast<std::size_t>(b.neighbor)];
+            break;
+          }
+        }
+      }
+      if (lu == -1 || lv == -1) {
+        return std::nullopt;
+      }
+      label[static_cast<std::size_t>(w)] = lu | lv;
+      level[static_cast<std::size_t>(w)] =
+          level[static_cast<std::size_t>(v)] + 1;
+      q.push(w);
+    }
+  }
+
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (const int l : label) {
+    if (l < 0 || l >= n || used[static_cast<std::size_t>(l)]) {
+      return std::nullopt;
+    }
+    used[static_cast<std::size_t>(l)] = true;
+  }
+  for (const auto& e : g.edges()) {
+    const auto diff = static_cast<std::uint32_t>(
+        label[static_cast<std::size_t>(e.u)] ^
+        label[static_cast<std::size_t>(e.v)]);
+    if (popcount32(diff) != 1) {
+      return std::nullopt;
+    }
+  }
+  return RecognizedFamily{GraphFamily::Hypercube, {d}, std::move(label)};
+}
+
+std::optional<RecognizedFamily> detect_mesh(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n < 4 || !is_connected(g)) {
+    return std::nullopt;
+  }
+  std::vector<int> corners;
+  for (int v = 0; v < n; ++v) {
+    const int d = g.degree(v);
+    if (d == 2) {
+      corners.push_back(v);
+    } else if (d != 3 && d != 4) {
+      return std::nullopt;
+    }
+  }
+  if (corners.size() != 4) {
+    return std::nullopt;
+  }
+
+  // Coordinates from corner distances: with v0 = (0,0) and w = (0,c-1),
+  // dist_v0(x) = i+j and dist_w(x) = i + (c-1-j), so j and i recover
+  // linearly. The nearest other corner to v0 sits at distance c-1.
+  const int v0 = corners[0];
+  const auto d0 = bfs_distances(g, v0);
+  int w = -1;
+  for (std::size_t k = 1; k < corners.size(); ++k) {
+    const int corner = corners[k];
+    if (w == -1 || d0[static_cast<std::size_t>(corner)] <
+                       d0[static_cast<std::size_t>(w)]) {
+      w = corner;
+    }
+  }
+  const int c = d0[static_cast<std::size_t>(w)] + 1;
+  if (c < 2 || n % c != 0) {
+    return std::nullopt;
+  }
+  const int r = n / c;
+  if (r < 2) {
+    return std::nullopt;
+  }
+  const auto dw = bfs_distances(g, w);
+
+  std::vector<int> label(static_cast<std::size_t>(n), -1);
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (int x = 0; x < n; ++x) {
+    const int sum = d0[static_cast<std::size_t>(x)];
+    const int diff = sum - dw[static_cast<std::size_t>(x)] + (c - 1);
+    if (diff < 0 || diff % 2 != 0) {
+      return std::nullopt;
+    }
+    const int j = diff / 2;
+    const int i = sum - j;
+    if (i < 0 || i >= r || j < 0 || j >= c) {
+      return std::nullopt;
+    }
+    const int idx = i * c + j;
+    if (used[static_cast<std::size_t>(idx)]) {
+      return std::nullopt;
+    }
+    used[static_cast<std::size_t>(idx)] = true;
+    label[static_cast<std::size_t>(x)] = idx;
+  }
+  if (g.num_edges() != r * (c - 1) + c * (r - 1)) {
+    return std::nullopt;
+  }
+  for (const auto& e : g.edges()) {
+    const int a = label[static_cast<std::size_t>(e.u)];
+    const int b = label[static_cast<std::size_t>(e.v)];
+    const int ai = a / c;
+    const int aj = a % c;
+    const int bi = b / c;
+    const int bj = b % c;
+    if (std::abs(ai - bi) + std::abs(aj - bj) != 1) {
+      return std::nullopt;
+    }
+  }
+  return RecognizedFamily{GraphFamily::Mesh, {r, c}, std::move(label)};
+}
+
+std::optional<RecognizedFamily> detect_complete_binary_tree(
+    const Graph& g) {
+  const int n = g.num_vertices();
+  if (!is_tree(g) ||
+      !is_power_of_two(static_cast<std::uint64_t>(n) + 1)) {
+    return std::nullopt;
+  }
+  const int h = floor_log2(static_cast<std::uint64_t>(n) + 1);
+  if (n == 1) {
+    return RecognizedFamily{GraphFamily::CompleteBinaryTree, {1}, {0}};
+  }
+
+  // Root: degree 2 whose removal splits the tree into equal halves.
+  // For h >= 3 the root is the only degree-2 vertex; for h == 2 (P_3)
+  // the middle vertex qualifies.
+  int root = -1;
+  for (int v = 0; v < n; ++v) {
+    if (g.degree(v) == 2) {
+      if (root != -1 && h >= 3) {
+        return std::nullopt;
+      }
+      if (root == -1) {
+        root = v;
+      }
+    }
+  }
+  if (root == -1) {
+    return std::nullopt;
+  }
+
+  std::vector<int> label(static_cast<std::size_t>(n), -1);
+  std::queue<int> q;
+  label[static_cast<std::size_t>(root)] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    const int heap = label[static_cast<std::size_t>(v)];
+    int child_slot = 0;
+    for (const auto& a : g.neighbors(v)) {
+      if (label[static_cast<std::size_t>(a.neighbor)] != -1) {
+        continue;
+      }
+      if (child_slot >= 2) {
+        return std::nullopt;
+      }
+      const int child_heap = 2 * heap + 1 + child_slot;
+      if (child_heap >= n) {
+        return std::nullopt;
+      }
+      label[static_cast<std::size_t>(a.neighbor)] = child_heap;
+      q.push(a.neighbor);
+      ++child_slot;
+    }
+    const bool is_internal = 2 * heap + 1 < n;
+    if (is_internal ? child_slot != 2 : child_slot != 0) {
+      return std::nullopt;
+    }
+  }
+  return RecognizedFamily{GraphFamily::CompleteBinaryTree, {h},
+                          std::move(label)};
+}
+
+namespace {
+
+/// Recursive binomial-tree check rooted at `v` (parent excluded).
+/// Fills `label` with bitmask addresses relative to `base`; returns the
+/// subtree size, or -1 when the subtree is not binomial.
+int binomial_check(const Graph& g, int v, int parent, int base,
+                   std::vector<int>& label) {
+  label[static_cast<std::size_t>(v)] = base;
+  // Gather children with their subtree sizes.
+  std::vector<std::pair<int, int>> children;  // (size, child)
+  int total = 1;
+  for (const auto& a : g.neighbors(v)) {
+    if (a.neighbor == parent) {
+      continue;
+    }
+    // Temporarily compute size via a plain DFS; labels assigned later.
+    int size = 0;
+    std::vector<std::pair<int, int>> stack{{a.neighbor, v}};
+    while (!stack.empty()) {
+      const auto [x, p] = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const auto& b : g.neighbors(x)) {
+        if (b.neighbor != p) {
+          stack.emplace_back(b.neighbor, x);
+        }
+      }
+    }
+    children.emplace_back(size, a.neighbor);
+    total += size;
+  }
+  std::sort(children.begin(), children.end());
+  for (std::size_t j = 0; j < children.size(); ++j) {
+    if (children[j].first != (1 << j)) {
+      return -1;
+    }
+    if (binomial_check(g, children[j].second, v,
+                       base | (1 << j), label) == -1) {
+      return -1;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::optional<RecognizedFamily> detect_binomial_tree(const Graph& g) {
+  const int n = g.num_vertices();
+  if (!is_tree(g) || !is_power_of_two(static_cast<std::uint64_t>(n))) {
+    return std::nullopt;
+  }
+  const int k = floor_log2(static_cast<std::uint64_t>(n));
+  if (n == 1) {
+    return RecognizedFamily{GraphFamily::BinomialTree, {0}, {0}};
+  }
+  // The root of B_k has degree k; try each max-degree vertex.
+  for (int root = 0; root < n; ++root) {
+    if (g.degree(root) != k) {
+      continue;
+    }
+    std::vector<int> label(static_cast<std::size_t>(n), -1);
+    if (binomial_check(g, root, -1, 0, label) == n) {
+      return RecognizedFamily{GraphFamily::BinomialTree, {k},
+                              std::move(label)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RecognizedFamily> detect_star(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n < 4 || g.num_edges() != n - 1) {
+    return std::nullopt;
+  }
+  int hub = -1;
+  for (int v = 0; v < n; ++v) {
+    if (g.degree(v) == n - 1) {
+      hub = v;
+    } else if (g.degree(v) != 1) {
+      return std::nullopt;
+    }
+  }
+  if (hub == -1) {
+    return std::nullopt;
+  }
+  RecognizedFamily result;
+  result.family = GraphFamily::Star;
+  result.params = {n};
+  result.canonical_label.assign(static_cast<std::size_t>(n), -1);
+  result.canonical_label[static_cast<std::size_t>(hub)] = 0;
+  int next = 1;
+  for (int v = 0; v < n; ++v) {
+    if (v != hub) {
+      result.canonical_label[static_cast<std::size_t>(v)] = next++;
+    }
+  }
+  return result;
+}
+
+std::optional<RecognizedFamily> detect_complete(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n < 3 || g.num_edges() != n * (n - 1) / 2 ||
+      !all_degrees_are(g, n - 1)) {
+    return std::nullopt;
+  }
+  RecognizedFamily result;
+  result.family = GraphFamily::Complete;
+  result.params = {n};
+  result.canonical_label.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    result.canonical_label[static_cast<std::size_t>(v)] = v;
+  }
+  return result;
+}
+
+RecognizedFamily recognize_family(const Graph& g) {
+  // Specific families first; overlapping small cases (Q_2 == C_4,
+  // B_2 == P_4, ...) resolve to the earlier detector deterministically.
+  if (auto r = detect_hypercube(g)) {
+    return *r;
+  }
+  if (auto r = detect_ring(g)) {
+    return *r;
+  }
+  if (auto r = detect_mesh(g)) {
+    return *r;
+  }
+  if (auto r = detect_complete_binary_tree(g)) {
+    return *r;
+  }
+  if (auto r = detect_binomial_tree(g)) {
+    return *r;
+  }
+  if (auto r = detect_star(g)) {
+    return *r;
+  }
+  if (auto r = detect_complete(g)) {
+    return *r;
+  }
+  if (auto r = detect_chain(g)) {
+    return *r;
+  }
+  return {};
+}
+
+}  // namespace oregami

@@ -1,0 +1,68 @@
+// Structural recognition of "nameable" task graphs (paper §4.1).
+//
+// MAPPER's first strategy is a library lookup keyed on (task-graph
+// family, network family). The programmer can state the family in
+// LaRCS; when they do not, OREGAMI detects the common families
+// structurally from the aggregate task graph and recovers a canonical
+// numbering so the canned embeddings can be applied.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oregami/graph/graph.hpp"
+
+namespace oregami {
+
+enum class GraphFamily {
+  Unknown,
+  Ring,                ///< cycle C_n, params {n}
+  Chain,               ///< path P_n, params {n}
+  Mesh,                ///< grid r x c, params {r, c}
+  Hypercube,           ///< Q_d, params {d}
+  CompleteBinaryTree,  ///< 2^h - 1 nodes, params {h} (h = #levels)
+  BinomialTree,        ///< B_k with 2^k nodes, params {k}
+  Star,                ///< K_{1,n-1}, params {n}
+  Complete,            ///< K_n, params {n}
+};
+
+[[nodiscard]] std::string to_string(GraphFamily family);
+
+/// Detection result: the family, its shape parameters, and a canonical
+/// label per vertex in the family's natural coordinate system:
+///   Ring/Chain: position along the walk;
+///   Mesh: i * c + j (row-major);
+///   Hypercube: the vertex's binary address;
+///   CompleteBinaryTree: heap index (root 0, children 2i+1 / 2i+2);
+///   BinomialTree: the bitmask address (root 0; node m's parent clears
+///     m's lowest set bit -- the child of subtree size 2^j carries
+///     bit j);
+///   Star: 0 = hub; Complete: identity.
+struct RecognizedFamily {
+  GraphFamily family = GraphFamily::Unknown;
+  std::vector<int> params;
+  std::vector<int> canonical_label;
+};
+
+/// Attempts each family detector in a fixed order (specific before
+/// general) and returns the first match; Unknown with empty labels when
+/// none match. The graph is treated as unweighted/undirected structure.
+[[nodiscard]] RecognizedFamily recognize_family(const Graph& g);
+
+/// Individual detectors (exposed for tests). Each returns nullopt on a
+/// non-member and the canonical labeling on a member.
+[[nodiscard]] std::optional<RecognizedFamily> detect_ring(const Graph& g);
+[[nodiscard]] std::optional<RecognizedFamily> detect_chain(const Graph& g);
+[[nodiscard]] std::optional<RecognizedFamily> detect_mesh(const Graph& g);
+[[nodiscard]] std::optional<RecognizedFamily> detect_hypercube(
+    const Graph& g);
+[[nodiscard]] std::optional<RecognizedFamily> detect_complete_binary_tree(
+    const Graph& g);
+[[nodiscard]] std::optional<RecognizedFamily> detect_binomial_tree(
+    const Graph& g);
+[[nodiscard]] std::optional<RecognizedFamily> detect_star(const Graph& g);
+[[nodiscard]] std::optional<RecognizedFamily> detect_complete(
+    const Graph& g);
+
+}  // namespace oregami

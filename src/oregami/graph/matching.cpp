@@ -1,0 +1,198 @@
+#include "oregami/graph/matching.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+BipartiteGraph::BipartiteGraph(int n_left, int n_right)
+    : n_left_(n_left), n_right_(n_right) {
+  OREGAMI_ASSERT(n_left >= 0 && n_right >= 0,
+                 "bipartite side sizes must be non-negative");
+  adj_.resize(static_cast<std::size_t>(n_left));
+}
+
+void BipartiteGraph::add_edge(int left, int right) {
+  OREGAMI_ASSERT(left >= 0 && left < n_left_, "left vertex out of range");
+  OREGAMI_ASSERT(right >= 0 && right < n_right_, "right vertex out of range");
+  adj_[static_cast<std::size_t>(left)].push_back(right);
+}
+
+const std::vector<int>& BipartiteGraph::right_neighbors(int left) const {
+  OREGAMI_ASSERT(left >= 0 && left < n_left_, "left vertex out of range");
+  return adj_[static_cast<std::size_t>(left)];
+}
+
+std::size_t BipartiteGraph::num_edges() const {
+  std::size_t count = 0;
+  for (const auto& list : adj_) {
+    count += list.size();
+  }
+  return count;
+}
+
+int BipartiteMatching::size() const {
+  int count = 0;
+  for (const int r : match_left) {
+    if (r != -1) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+BipartiteMatching greedy_maximal_matching(const BipartiteGraph& g) {
+  BipartiteMatching m;
+  m.match_left.assign(static_cast<std::size_t>(g.n_left()), -1);
+  m.match_right.assign(static_cast<std::size_t>(g.n_right()), -1);
+  for (int l = 0; l < g.n_left(); ++l) {
+    for (const int r : g.right_neighbors(l)) {
+      if (m.match_right[static_cast<std::size_t>(r)] == -1) {
+        m.match_left[static_cast<std::size_t>(l)] = r;
+        m.match_right[static_cast<std::size_t>(r)] = l;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+namespace {
+
+/// Hopcroft–Karp state; distances over left vertices with a virtual NIL.
+class HopcroftKarpSolver {
+ public:
+  explicit HopcroftKarpSolver(const BipartiteGraph& g)
+      : g_(g),
+        match_left_(static_cast<std::size_t>(g.n_left()), -1),
+        match_right_(static_cast<std::size_t>(g.n_right()), -1),
+        dist_(static_cast<std::size_t>(g.n_left()), 0) {}
+
+  BipartiteMatching solve() {
+    while (bfs_layers()) {
+      for (int l = 0; l < g_.n_left(); ++l) {
+        if (match_left_[static_cast<std::size_t>(l)] == -1) {
+          dfs_augment(l);
+        }
+      }
+    }
+    return {std::move(match_left_), std::move(match_right_)};
+  }
+
+ private:
+  static constexpr int kInf = std::numeric_limits<int>::max();
+
+  bool bfs_layers() {
+    std::queue<int> q;
+    bool found_free_right = false;
+    for (int l = 0; l < g_.n_left(); ++l) {
+      if (match_left_[static_cast<std::size_t>(l)] == -1) {
+        dist_[static_cast<std::size_t>(l)] = 0;
+        q.push(l);
+      } else {
+        dist_[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    int frontier_limit = kInf;
+    while (!q.empty()) {
+      const int l = q.front();
+      q.pop();
+      if (dist_[static_cast<std::size_t>(l)] >= frontier_limit) {
+        continue;
+      }
+      for (const int r : g_.right_neighbors(l)) {
+        const int next = match_right_[static_cast<std::size_t>(r)];
+        if (next == -1) {
+          // Augmenting path frontier reached; stop expanding deeper.
+          frontier_limit = dist_[static_cast<std::size_t>(l)] + 1;
+          found_free_right = true;
+        } else if (dist_[static_cast<std::size_t>(next)] == kInf) {
+          dist_[static_cast<std::size_t>(next)] =
+              dist_[static_cast<std::size_t>(l)] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  bool dfs_augment(int l) {
+    for (const int r : g_.right_neighbors(l)) {
+      const int next = match_right_[static_cast<std::size_t>(r)];
+      if (next == -1 ||
+          (dist_[static_cast<std::size_t>(next)] ==
+               dist_[static_cast<std::size_t>(l)] + 1 &&
+           dfs_augment(next))) {
+        match_left_[static_cast<std::size_t>(l)] = r;
+        match_right_[static_cast<std::size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist_[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  }
+
+  const BipartiteGraph& g_;
+  std::vector<int> match_left_;
+  std::vector<int> match_right_;
+  std::vector<int> dist_;
+};
+
+}  // namespace
+
+BipartiteMatching hopcroft_karp(const BipartiteGraph& g) {
+  return HopcroftKarpSolver(g).solve();
+}
+
+bool is_valid_matching(const BipartiteGraph& g, const BipartiteMatching& m) {
+  if (m.match_left.size() != static_cast<std::size_t>(g.n_left()) ||
+      m.match_right.size() != static_cast<std::size_t>(g.n_right())) {
+    return false;
+  }
+  for (int l = 0; l < g.n_left(); ++l) {
+    const int r = m.match_left[static_cast<std::size_t>(l)];
+    if (r == -1) {
+      continue;
+    }
+    if (r < 0 || r >= g.n_right() ||
+        m.match_right[static_cast<std::size_t>(r)] != l) {
+      return false;
+    }
+    bool edge_exists = false;
+    for (const int cand : g.right_neighbors(l)) {
+      if (cand == r) {
+        edge_exists = true;
+        break;
+      }
+    }
+    if (!edge_exists) {
+      return false;
+    }
+  }
+  for (int r = 0; r < g.n_right(); ++r) {
+    const int l = m.match_right[static_cast<std::size_t>(r)];
+    if (l != -1 && m.match_left[static_cast<std::size_t>(l)] != r) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_matching(const BipartiteGraph& g,
+                         const BipartiteMatching& m) {
+  for (int l = 0; l < g.n_left(); ++l) {
+    if (m.match_left[static_cast<std::size_t>(l)] != -1) {
+      continue;
+    }
+    for (const int r : g.right_neighbors(l)) {
+      if (m.match_right[static_cast<std::size_t>(r)] == -1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace oregami

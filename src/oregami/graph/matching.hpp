@@ -1,0 +1,62 @@
+// Bipartite matching algorithms backing Algorithm MM-Route (paper §4.4).
+//
+// MM-Route repeatedly matches task-graph communication edges (left side,
+// X) to network links (right side, Y). The paper uses a maximal matching
+// with O(|X|^2 |Y|) total cost; we provide both that greedy maximal
+// matching and Hopcroft–Karp maximum matching so the ablation bench can
+// compare them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace oregami {
+
+/// A bipartite graph with left vertices [0, n_left) and right vertices
+/// [0, n_right); edges stored as left-side adjacency lists.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int n_left, int n_right);
+
+  void add_edge(int left, int right);
+
+  [[nodiscard]] int n_left() const { return n_left_; }
+  [[nodiscard]] int n_right() const { return n_right_; }
+  [[nodiscard]] const std::vector<int>& right_neighbors(int left) const;
+  [[nodiscard]] std::size_t num_edges() const;
+
+ private:
+  int n_left_;
+  int n_right_;
+  std::vector<std::vector<int>> adj_;
+};
+
+/// A matching: match_left[l] = matched right vertex or -1, and
+/// symmetrically match_right.
+struct BipartiteMatching {
+  std::vector<int> match_left;
+  std::vector<int> match_right;
+
+  [[nodiscard]] int size() const;
+};
+
+/// Greedy maximal matching: scans left vertices in index order, matches
+/// each to its first free right neighbor. Maximal (no augmenting edge
+/// remains) but not necessarily maximum; at least half the maximum size.
+/// This is the matching the paper's MM-Route heuristic uses.
+[[nodiscard]] BipartiteMatching greedy_maximal_matching(
+    const BipartiteGraph& g);
+
+/// Hopcroft–Karp maximum bipartite matching, O(E sqrt(V)).
+[[nodiscard]] BipartiteMatching hopcroft_karp(const BipartiteGraph& g);
+
+/// True when `m` is a valid matching of `g` (edges exist, degrees <= 1,
+/// the two sides are consistent).
+[[nodiscard]] bool is_valid_matching(const BipartiteGraph& g,
+                                     const BipartiteMatching& m);
+
+/// True when no edge of `g` has both endpoints free under `m`.
+[[nodiscard]] bool is_maximal_matching(const BipartiteGraph& g,
+                                       const BipartiteMatching& m);
+
+}  // namespace oregami

@@ -1,0 +1,243 @@
+#include "oregami/group/perm_group.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+PermutationGroup::PermutationGroup(
+    int degree, std::vector<Permutation> elements,
+    std::vector<std::size_t> generator_indices)
+    : degree_(degree),
+      elements_(std::move(elements)),
+      generator_indices_(std::move(generator_indices)) {}
+
+std::optional<PermutationGroup> PermutationGroup::generate(
+    const std::vector<Permutation>& generators, std::size_t max_order) {
+  OREGAMI_ASSERT(!generators.empty(), "group needs at least one generator");
+  const int degree = generators.front().degree();
+  for (const auto& g : generators) {
+    OREGAMI_ASSERT(g.degree() == degree,
+                   "all generators must share one degree");
+  }
+
+  // BFS closure over right multiplication by generators.
+  std::set<Permutation> closed;
+  std::vector<Permutation> frontier;
+  closed.insert(Permutation::identity(degree));
+  frontier.push_back(Permutation::identity(degree));
+  while (!frontier.empty()) {
+    std::vector<Permutation> next;
+    for (const auto& e : frontier) {
+      for (const auto& g : generators) {
+        Permutation candidate = e.then(g);
+        if (closed.insert(candidate).second) {
+          if (closed.size() > max_order) {
+            return std::nullopt;  // paper's early abort: |G| > cutoff
+          }
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::vector<Permutation> elements(closed.begin(), closed.end());
+  // std::set orders lexicographically by image table, so the identity
+  // (0,1,2,...) is first only if no element maps 0 below... it is the
+  // minimum: any other permutation's image differs and the identity's
+  // table (0,1,...,n-1) is lexicographically minimal among bijections
+  // that fix nothing smaller. That is not true in general (e.g. image
+  // (0,2,1) > identity, but (0,1,...) is minimal since any bijection's
+  // first differing position holds a larger value). Assert it.
+  OREGAMI_ASSERT(elements.front().is_identity(),
+                 "identity must sort first among group elements");
+
+  std::vector<std::size_t> gen_idx;
+  for (const auto& g : generators) {
+    const auto it = std::lower_bound(elements.begin(), elements.end(), g);
+    OREGAMI_ASSERT(it != elements.end() && *it == g,
+                   "generator missing from its own closure");
+    gen_idx.push_back(static_cast<std::size_t>(it - elements.begin()));
+  }
+  return PermutationGroup(degree, std::move(elements), std::move(gen_idx));
+}
+
+std::optional<std::size_t> PermutationGroup::index_of(
+    const Permutation& p) const {
+  const auto it = std::lower_bound(elements_.begin(), elements_.end(), p);
+  if (it != elements_.end() && *it == p) {
+    return static_cast<std::size_t>(it - elements_.begin());
+  }
+  return std::nullopt;
+}
+
+std::size_t PermutationGroup::compose(std::size_t a, std::size_t b) const {
+  const auto idx = index_of(elements_[a].then(elements_[b]));
+  OREGAMI_ASSERT(idx.has_value(), "group not closed under composition");
+  return *idx;
+}
+
+std::size_t PermutationGroup::inverse(std::size_t a) const {
+  const auto idx = index_of(elements_[a].inverse());
+  OREGAMI_ASSERT(idx.has_value(), "group not closed under inversion");
+  return *idx;
+}
+
+bool PermutationGroup::is_transitive() const {
+  if (degree_ == 0) {
+    return true;
+  }
+  std::vector<bool> reached(static_cast<std::size_t>(degree_), false);
+  int count = 0;
+  for (const auto& e : elements_) {
+    const int y = e(0);
+    if (!reached[static_cast<std::size_t>(y)]) {
+      reached[static_cast<std::size_t>(y)] = true;
+      ++count;
+    }
+  }
+  return count == degree_;
+}
+
+bool PermutationGroup::acts_regularly() const {
+  if (order() != static_cast<std::size_t>(degree_)) {
+    return false;
+  }
+  if (!is_transitive()) {
+    return false;
+  }
+  return std::all_of(elements_.begin(), elements_.end(),
+                     [](const Permutation& e) {
+                       return e.has_uniform_cycle_length();
+                     });
+}
+
+std::size_t PermutationGroup::element_mapping_base_to(int x) const {
+  OREGAMI_ASSERT(x >= 0 && x < degree_, "point out of range");
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i](0) == x) {
+      return i;
+    }
+  }
+  OREGAMI_ASSERT(false, "regular action must reach every point from 0");
+  return 0;
+}
+
+std::vector<std::size_t> PermutationGroup::cyclic_subgroup(
+    std::size_t a) const {
+  std::vector<std::size_t> members{0};  // identity
+  std::size_t current = a;
+  while (current != 0) {
+    members.push_back(current);
+    current = compose(current, a);
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+std::vector<std::size_t> PermutationGroup::subgroup_closure(
+    std::vector<std::size_t> seed) const {
+  std::set<std::size_t> closed(seed.begin(), seed.end());
+  closed.insert(0);
+  std::vector<std::size_t> frontier(closed.begin(), closed.end());
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t e : frontier) {
+      for (const std::size_t s : seed) {
+        for (const std::size_t candidate :
+             {compose(e, s), compose(e, inverse(s))}) {
+          if (closed.insert(candidate).second) {
+            next.push_back(candidate);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return {closed.begin(), closed.end()};
+}
+
+bool PermutationGroup::is_normal(
+    const std::vector<std::size_t>& subgroup) const {
+  for (std::size_t g = 0; g < order(); ++g) {
+    const std::size_t g_inv = inverse(g);
+    for (const std::size_t h : subgroup) {
+      const std::size_t conj = compose(compose(g_inv, h), g);
+      if (!std::binary_search(subgroup.begin(), subgroup.end(), conj)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<int> PermutationGroup::right_cosets(
+    const std::vector<std::size_t>& subgroup) const {
+  std::vector<int> coset_of(order(), -1);
+  int next_id = 0;
+  for (std::size_t g = 0; g < order(); ++g) {
+    if (coset_of[g] != -1) {
+      continue;
+    }
+    // Coset H*g: identity is elements_[0], subgroup indices are h.
+    for (const std::size_t h : subgroup) {
+      const std::size_t member = compose(h, g);
+      OREGAMI_ASSERT(coset_of[member] == -1 || coset_of[member] == next_id,
+                     "cosets must partition the group");
+      coset_of[member] = next_id;
+    }
+    ++next_id;
+  }
+  return coset_of;
+}
+
+std::vector<std::vector<std::size_t>> PermutationGroup::cyclic_subgroups()
+    const {
+  std::set<std::vector<std::size_t>> distinct;
+  for (std::size_t a = 0; a < order(); ++a) {
+    distinct.insert(cyclic_subgroup(a));
+  }
+  std::vector<std::vector<std::size_t>> result(distinct.begin(),
+                                               distinct.end());
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) {
+                return a.size() < b.size();
+              }
+              return a < b;
+            });
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> PermutationGroup::all_subgroups(
+    int max_generators) const {
+  OREGAMI_ASSERT(order() <= 64,
+                 "all_subgroups is guarded to small groups (|G| <= 64)");
+  std::set<std::vector<std::size_t>> distinct;
+  distinct.insert({0});
+  for (std::size_t a = 0; a < order(); ++a) {
+    distinct.insert(cyclic_subgroup(a));
+  }
+  if (max_generators >= 2) {
+    for (std::size_t a = 1; a < order(); ++a) {
+      for (std::size_t b = a + 1; b < order(); ++b) {
+        distinct.insert(subgroup_closure({a, b}));
+      }
+    }
+  }
+  std::vector<std::vector<std::size_t>> result(distinct.begin(),
+                                               distinct.end());
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) {
+                return a.size() < b.size();
+              }
+              return a < b;
+            });
+  return result;
+}
+
+}  // namespace oregami

@@ -1,0 +1,164 @@
+#include "oregami/group/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+Permutation Permutation::identity(int n) {
+  OREGAMI_ASSERT(n >= 0, "permutation degree must be non-negative");
+  std::vector<int> image(static_cast<std::size_t>(n));
+  std::iota(image.begin(), image.end(), 0);
+  return Permutation(std::move(image));
+}
+
+Permutation::Permutation(std::vector<int> image) : image_(std::move(image)) {
+  std::vector<bool> seen(image_.size(), false);
+  for (const int y : image_) {
+    if (y < 0 || static_cast<std::size_t>(y) >= image_.size() ||
+        seen[static_cast<std::size_t>(y)]) {
+      throw MappingError("permutation image table is not a bijection");
+    }
+    seen[static_cast<std::size_t>(y)] = true;
+  }
+}
+
+Permutation Permutation::from_cycles(int n, const std::string& cycles) {
+  std::vector<int> image(static_cast<std::size_t>(n));
+  std::iota(image.begin(), image.end(), 0);
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < cycles.size() &&
+           (cycles[i] == ' ' || cycles[i] == ',' || cycles[i] == '\t')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  while (i < cycles.size()) {
+    if (cycles[i] != '(') {
+      throw MappingError("cycle notation: expected '('");
+    }
+    ++i;
+    std::vector<int> cyc;
+    skip_ws();
+    while (i < cycles.size() && cycles[i] != ')') {
+      if (!std::isdigit(static_cast<unsigned char>(cycles[i]))) {
+        throw MappingError("cycle notation: expected digit");
+      }
+      int value = 0;
+      while (i < cycles.size() &&
+             std::isdigit(static_cast<unsigned char>(cycles[i]))) {
+        value = value * 10 + (cycles[i] - '0');
+        ++i;
+      }
+      if (value >= n) {
+        throw MappingError("cycle notation: point out of range");
+      }
+      cyc.push_back(value);
+      skip_ws();
+    }
+    if (i >= cycles.size()) {
+      throw MappingError("cycle notation: unterminated cycle");
+    }
+    ++i;  // consume ')'
+    for (std::size_t k = 0; k < cyc.size(); ++k) {
+      const int from = cyc[k];
+      const int to = cyc[(k + 1) % cyc.size()];
+      image[static_cast<std::size_t>(from)] = to;
+    }
+    skip_ws();
+  }
+  return Permutation(std::move(image));
+}
+
+int Permutation::operator()(int x) const {
+  OREGAMI_ASSERT(x >= 0 && x < degree(), "permutation point out of range");
+  return image_[static_cast<std::size_t>(x)];
+}
+
+Permutation Permutation::then(const Permutation& b) const {
+  OREGAMI_ASSERT(degree() == b.degree(),
+                 "composition requires equal degrees");
+  std::vector<int> image(image_.size());
+  for (std::size_t x = 0; x < image_.size(); ++x) {
+    image[x] = b.image_[static_cast<std::size_t>(image_[x])];
+  }
+  return Permutation(std::move(image));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<int> image(image_.size());
+  for (std::size_t x = 0; x < image_.size(); ++x) {
+    image[static_cast<std::size_t>(image_[x])] = static_cast<int>(x);
+  }
+  return Permutation(std::move(image));
+}
+
+bool Permutation::is_identity() const {
+  for (std::size_t x = 0; x < image_.size(); ++x) {
+    if (image_[x] != static_cast<int>(x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> Permutation::cycles() const {
+  std::vector<std::vector<int>> result;
+  std::vector<bool> seen(image_.size(), false);
+  for (int start = 0; start < degree(); ++start) {
+    if (seen[static_cast<std::size_t>(start)]) {
+      continue;
+    }
+    std::vector<int> cyc;
+    int x = start;
+    do {
+      seen[static_cast<std::size_t>(x)] = true;
+      cyc.push_back(x);
+      x = image_[static_cast<std::size_t>(x)];
+    } while (x != start);
+    result.push_back(std::move(cyc));
+  }
+  return result;
+}
+
+std::vector<int> Permutation::cycle_type() const {
+  std::vector<int> lengths;
+  for (const auto& cyc : cycles()) {
+    lengths.push_back(static_cast<int>(cyc.size()));
+  }
+  std::sort(lengths.begin(), lengths.end());
+  return lengths;
+}
+
+bool Permutation::has_uniform_cycle_length() const {
+  const auto type = cycle_type();
+  return type.empty() || type.front() == type.back();
+}
+
+long Permutation::order() const {
+  long result = 1;
+  for (const auto& cyc : cycles()) {
+    result = std::lcm(result, static_cast<long>(cyc.size()));
+  }
+  return result;
+}
+
+std::string Permutation::to_cycle_string() const {
+  std::string out;
+  for (const auto& cyc : cycles()) {
+    out += '(';
+    for (std::size_t k = 0; k < cyc.size(); ++k) {
+      if (k != 0) {
+        out += ' ';
+      }
+      out += std::to_string(cyc[k]);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace oregami

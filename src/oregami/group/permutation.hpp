@@ -1,0 +1,73 @@
+// Permutations on {0, ..., n-1} with the cycle-notation machinery used
+// by OREGAMI's group-theoretic contraction (paper §4.2.2).
+//
+// Composition convention follows the paper: left-to-right application,
+// so (a * b)(x) = b(a(x)) -- "(123) composed with (13)(2) gives (12)(3)"
+// per the paper's footnote 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oregami {
+
+/// A permutation stored as its image table: image()[x] = where x maps.
+class Permutation {
+ public:
+  /// The identity on n points.
+  static Permutation identity(int n);
+
+  /// From an image table; validates that it is a bijection.
+  explicit Permutation(std::vector<int> image);
+
+  /// Parses cycle notation like "(0 2 4 6)(1 3 5 7)" over n points;
+  /// fixed points may be omitted. Throws MappingError on bad input.
+  static Permutation from_cycles(int n, const std::string& cycles);
+
+  [[nodiscard]] int degree() const {
+    return static_cast<int>(image_.size());
+  }
+
+  /// Image of point x.
+  [[nodiscard]] int operator()(int x) const;
+
+  [[nodiscard]] const std::vector<int>& image() const { return image_; }
+
+  /// Left-to-right composition: (a.then(b))(x) == b(a(x)).
+  [[nodiscard]] Permutation then(const Permutation& b) const;
+
+  [[nodiscard]] Permutation inverse() const;
+
+  [[nodiscard]] bool is_identity() const;
+
+  /// Cycle decomposition, each cycle starting at its smallest member,
+  /// cycles ordered by that smallest member; includes fixed points as
+  /// 1-cycles (the paper writes E0 = (0)(1)...(7)).
+  [[nodiscard]] std::vector<std::vector<int>> cycles() const;
+
+  /// Sorted multiset of cycle lengths, e.g. {4, 4} for (0246)(1357).
+  [[nodiscard]] std::vector<int> cycle_type() const;
+
+  /// True when every cycle has the same length (the regular-action
+  /// criterion of §4.2.2 requires this of every group element).
+  [[nodiscard]] bool has_uniform_cycle_length() const;
+
+  /// Order of the permutation (lcm of cycle lengths).
+  [[nodiscard]] long order() const;
+
+  /// Cycle-notation rendering, "(0 1 2 3 4 5 6 7)" style, fixed points
+  /// included to match the paper's display of E0..E7.
+  [[nodiscard]] std::string to_cycle_string() const;
+
+  friend bool operator==(const Permutation& a, const Permutation& b) {
+    return a.image_ == b.image_;
+  }
+  friend auto operator<=>(const Permutation& a, const Permutation& b) {
+    return a.image_ <=> b.image_;
+  }
+
+ private:
+  std::vector<int> image_;
+};
+
+}  // namespace oregami

@@ -1,0 +1,209 @@
+#include "oregami/larcs/affine.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace oregami::larcs {
+
+bool AffineForm::is_constant() const {
+  return std::all_of(coeffs.begin(), coeffs.end(),
+                     [](long c) { return c == 0; });
+}
+
+namespace {
+
+std::optional<AffineForm> extract(const Expr& expr,
+                                  const std::vector<std::string>& binders,
+                                  const Env& env) {
+  const std::size_t n = binders.size();
+  auto constant = [n](long value) {
+    AffineForm f;
+    f.coeffs.assign(n, 0);
+    f.constant = value;
+    return f;
+  };
+
+  switch (expr.kind) {
+    case Expr::Kind::IntLit:
+      return constant(expr.value);
+    case Expr::Kind::Var: {
+      const auto it = std::find(binders.begin(), binders.end(), expr.name);
+      if (it != binders.end()) {
+        AffineForm f;
+        f.coeffs.assign(n, 0);
+        f.coeffs[static_cast<std::size_t>(it - binders.begin())] = 1;
+        return f;
+      }
+      if (env.has(expr.name)) {
+        return constant(env.get(expr.name));
+      }
+      return std::nullopt;
+    }
+    case Expr::Kind::Unary: {
+      if (expr.un_op != UnOp::Neg) {
+        return std::nullopt;
+      }
+      auto f = extract(*expr.args[0], binders, env);
+      if (!f) {
+        return std::nullopt;
+      }
+      for (auto& c : f->coeffs) {
+        c = -c;
+      }
+      f->constant = -f->constant;
+      return f;
+    }
+    case Expr::Kind::Binary: {
+      auto lhs = extract(*expr.args[0], binders, env);
+      auto rhs = extract(*expr.args[1], binders, env);
+      if (!lhs || !rhs) {
+        return std::nullopt;
+      }
+      switch (expr.bin_op) {
+        case BinOp::Add:
+        case BinOp::Sub: {
+          const long sign = expr.bin_op == BinOp::Add ? 1 : -1;
+          for (std::size_t d = 0; d < n; ++d) {
+            lhs->coeffs[d] += sign * rhs->coeffs[d];
+          }
+          lhs->constant += sign * rhs->constant;
+          return lhs;
+        }
+        case BinOp::Mul: {
+          if (rhs->is_constant()) {
+            for (auto& c : lhs->coeffs) {
+              c *= rhs->constant;
+            }
+            lhs->constant *= rhs->constant;
+            return lhs;
+          }
+          if (lhs->is_constant()) {
+            for (auto& c : rhs->coeffs) {
+              c *= lhs->constant;
+            }
+            rhs->constant *= lhs->constant;
+            return rhs;
+          }
+          return std::nullopt;
+        }
+        default:
+          // Division, mod, comparisons, booleans: affine only when the
+          // whole subexpression is binder-free, in which case it folds
+          // to a constant.
+          if (lhs->is_constant() && rhs->is_constant()) {
+            Env closed = env;
+            try {
+              return constant(eval(expr, closed));
+            } catch (const LarcsError&) {
+              return std::nullopt;
+            }
+          }
+          return std::nullopt;
+      }
+    }
+    case Expr::Kind::Call: {
+      // Calls fold only when binder-free.
+      for (const auto& arg : expr.args) {
+        const auto f = extract(*arg, binders, env);
+        if (!f || !f->is_constant()) {
+          return std::nullopt;
+        }
+      }
+      try {
+        return constant(eval(expr, env));
+      } catch (const LarcsError&) {
+        return std::nullopt;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<AffineForm> extract_affine(
+    const ExprPtr& expr, const std::vector<std::string>& binders,
+    const Env& env) {
+  OREGAMI_ASSERT(expr != nullptr, "extract_affine on null expression");
+  return extract(*expr, binders, env);
+}
+
+std::vector<std::vector<long>> AffineAnalysis::dependence_vectors() const {
+  std::set<std::vector<long>> distinct;
+  for (const auto& rule : rules) {
+    if (rule.rule_class == RuleClass::Uniform) {
+      distinct.insert(rule.dependence);
+    }
+  }
+  return {distinct.begin(), distinct.end()};
+}
+
+AffineAnalysis analyze_affine(const Program& program, const Env& env) {
+  AffineAnalysis out;
+  out.single_nodetype = program.nodetypes.size() == 1;
+
+  // Box bounds: a polytope when every lo/hi evaluates under env (bounds
+  // depend only on parameters, never on other binders).
+  out.domain_is_polytope = true;
+  for (const auto& nt : program.nodetypes) {
+    for (const auto& dim : nt.dims) {
+      try {
+        (void)eval(dim.lo, env);
+        (void)eval(dim.hi, env);
+      } catch (const LarcsError&) {
+        out.domain_is_polytope = false;
+      }
+    }
+  }
+
+  out.all_affine = true;
+  out.all_uniform = true;
+  for (const auto& cp : program.comm_phases) {
+    for (const auto& rule : cp.rules) {
+      RuleAnalysis analysis;
+      analysis.phase = cp.name;
+
+      std::vector<std::string> binders = rule.pattern;
+      if (rule.forall_binder) {
+        binders.push_back(*rule.forall_binder);
+      }
+
+      bool affine = rule.src_type == rule.dst_type;
+      bool uniform = affine && !rule.forall_binder;
+      std::vector<long> dependence;
+      for (std::size_t d = 0; d < rule.target.size() && affine; ++d) {
+        const auto form = extract_affine(rule.target[d], binders, env);
+        if (!form) {
+          affine = false;
+          uniform = false;
+          break;
+        }
+        // Uniform: coefficient matrix is the identity on the pattern
+        // binders (component d depends on binder d with coefficient 1).
+        for (std::size_t b = 0; b < rule.pattern.size(); ++b) {
+          const long expected = (b == d) ? 1 : 0;
+          if (form->coeffs[b] != expected) {
+            uniform = false;
+          }
+        }
+        dependence.push_back(form->constant);
+      }
+
+      if (!affine) {
+        analysis.rule_class = RuleClass::NonAffine;
+        out.all_affine = false;
+        out.all_uniform = false;
+      } else if (uniform) {
+        analysis.rule_class = RuleClass::Uniform;
+        analysis.dependence = std::move(dependence);
+      } else {
+        analysis.rule_class = RuleClass::Affine;
+        out.all_uniform = false;
+      }
+      out.rules.push_back(std::move(analysis));
+    }
+  }
+  return out;
+}
+
+}  // namespace oregami::larcs

@@ -1,0 +1,76 @@
+// Syntactic affine-ness checks on LaRCS programs (paper §4.2.1).
+//
+// To dispatch a computation to the systolic-array mapping path, OREGAMI
+// performs constant-time compiler tests on the LaRCS program:
+//   1. node labels are integer tuples        (true by construction here),
+//   2. the label set is a convex polytope    (our domains are boxes with
+//      parameter-dependent bounds, a polytope),
+//   3. every communication function is affine in the node label,
+//   4. (handled by the mapper) the target is a systolic array / mesh.
+// This module implements the affine extraction and classifies each rule
+// as uniform (constant dependence vector), affine, or neither.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oregami/larcs/ast.hpp"
+#include "oregami/larcs/expr_eval.hpp"
+
+namespace oregami::larcs {
+
+/// An affine form  constant + sum_d coeffs[d] * binder_d  with integer
+/// coefficients (parameters folded to their bound values).
+struct AffineForm {
+  std::vector<long> coeffs;
+  long constant = 0;
+
+  [[nodiscard]] bool is_constant() const;
+};
+
+/// Extracts `expr` as an affine form over `binders` (evaluating
+/// parameter references via `env`). Returns nullopt when the expression
+/// is not affine (products of binders, div/mod on binders, ...).
+[[nodiscard]] std::optional<AffineForm> extract_affine(
+    const ExprPtr& expr, const std::vector<std::string>& binders,
+    const Env& env);
+
+/// Classification of one comm rule.
+enum class RuleClass {
+  Uniform,    ///< target = source + constant vector (no forall binder)
+  Affine,     ///< target affine in the source label but not uniform
+  NonAffine,  ///< fails the affine test
+};
+
+struct RuleAnalysis {
+  std::string phase;
+  RuleClass rule_class = RuleClass::NonAffine;
+  /// For Uniform rules: the dependence vector target - source.
+  std::vector<long> dependence;
+};
+
+/// Whole-program analysis for the systolic dispatch test.
+struct AffineAnalysis {
+  bool single_nodetype = false;
+  bool domain_is_polytope = false;  ///< box bounds evaluate under env
+  bool all_affine = false;
+  bool all_uniform = false;
+  std::vector<RuleAnalysis> rules;
+
+  /// Distinct dependence vectors over all uniform rules.
+  [[nodiscard]] std::vector<std::vector<long>> dependence_vectors() const;
+
+  /// The full §4.2.1 dispatch condition (minus the target-architecture
+  /// check, which the mapper owns): systolic synthesis applies.
+  [[nodiscard]] bool systolic_applicable() const {
+    return single_nodetype && domain_is_polytope && all_uniform;
+  }
+};
+
+/// Runs the analysis; `env` must bind parameters/imports/consts (use
+/// CompiledProgram::env or construct one).
+[[nodiscard]] AffineAnalysis analyze_affine(const Program& program,
+                                            const Env& env);
+
+}  // namespace oregami::larcs

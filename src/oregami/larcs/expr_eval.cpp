@@ -1,0 +1,165 @@
+#include "oregami/larcs/expr_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oregami::larcs {
+
+long Env::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw LarcsError("unknown variable '" + name + "'");
+  }
+  return it->second;
+}
+
+namespace {
+
+long eval_call(const Expr& expr, const Env& env) {
+  auto arity = [&expr](std::size_t n) {
+    if (expr.args.size() != n) {
+      throw LarcsError("call to '" + expr.name + "' expects " +
+                           std::to_string(n) + " argument(s)",
+                       expr.loc);
+    }
+  };
+  if (expr.name == "pow") {
+    arity(2);
+    const long base = eval(*expr.args[0], env);
+    const long exp = eval(*expr.args[1], env);
+    if (exp < 0) {
+      throw LarcsError("pow with negative exponent", expr.loc);
+    }
+    long result = 1;
+    for (long k = 0; k < exp; ++k) {
+      if (base != 0 && std::abs(result) > (1L << 62) / std::abs(base)) {
+        throw LarcsError("pow overflows", expr.loc);
+      }
+      result *= base;
+    }
+    return result;
+  }
+  if (expr.name == "log2") {
+    arity(1);
+    const long x = eval(*expr.args[0], env);
+    if (x <= 0) {
+      throw LarcsError("log2 of a non-positive value", expr.loc);
+    }
+    long result = 0;
+    long v = x;
+    while (v > 1) {
+      v /= 2;
+      ++result;
+    }
+    return result;  // floor(log2(x))
+  }
+  if (expr.name == "min") {
+    arity(2);
+    return std::min(eval(*expr.args[0], env), eval(*expr.args[1], env));
+  }
+  if (expr.name == "max") {
+    arity(2);
+    return std::max(eval(*expr.args[0], env), eval(*expr.args[1], env));
+  }
+  if (expr.name == "abs") {
+    arity(1);
+    return std::abs(eval(*expr.args[0], env));
+  }
+  if (expr.name == "xor") {
+    arity(2);
+    const long a = eval(*expr.args[0], env);
+    const long b = eval(*expr.args[1], env);
+    if (a < 0 || b < 0) {
+      throw LarcsError("xor requires non-negative arguments", expr.loc);
+    }
+    return a ^ b;
+  }
+  if (expr.name == "bit") {
+    arity(2);
+    const long x = eval(*expr.args[0], env);
+    const long j = eval(*expr.args[1], env);
+    if (x < 0 || j < 0 || j > 62) {
+      throw LarcsError("bit requires x >= 0 and 0 <= j <= 62", expr.loc);
+    }
+    return (x >> j) & 1;
+  }
+  throw LarcsError("unknown function '" + expr.name + "'", expr.loc);
+}
+
+}  // namespace
+
+long eval(const Expr& expr, const Env& env) {
+  switch (expr.kind) {
+    case Expr::Kind::IntLit:
+      return expr.value;
+    case Expr::Kind::Var:
+      if (!env.has(expr.name)) {
+        throw LarcsError("unknown variable '" + expr.name + "'", expr.loc);
+      }
+      return env.get(expr.name);
+    case Expr::Kind::Unary: {
+      if (expr.un_op == UnOp::Neg) {
+        return -eval(*expr.args[0], env);
+      }
+      return eval(*expr.args[0], env) == 0 ? 1 : 0;
+    }
+    case Expr::Kind::Binary: {
+      // Short-circuit booleans first.
+      if (expr.bin_op == BinOp::And) {
+        return (eval(*expr.args[0], env) != 0 &&
+                eval(*expr.args[1], env) != 0)
+                   ? 1
+                   : 0;
+      }
+      if (expr.bin_op == BinOp::Or) {
+        return (eval(*expr.args[0], env) != 0 ||
+                eval(*expr.args[1], env) != 0)
+                   ? 1
+                   : 0;
+      }
+      const long a = eval(*expr.args[0], env);
+      const long b = eval(*expr.args[1], env);
+      switch (expr.bin_op) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::Div:
+          if (b == 0) {
+            throw LarcsError("division by zero", expr.loc);
+          }
+          return a / b;
+        case BinOp::Mod: {
+          if (b == 0) {
+            throw LarcsError("mod by zero", expr.loc);
+          }
+          const long m = a % b;
+          return m < 0 ? m + std::abs(b) : m;
+        }
+        case BinOp::Eq: return a == b ? 1 : 0;
+        case BinOp::Ne: return a != b ? 1 : 0;
+        case BinOp::Lt: return a < b ? 1 : 0;
+        case BinOp::Le: return a <= b ? 1 : 0;
+        case BinOp::Gt: return a > b ? 1 : 0;
+        case BinOp::Ge: return a >= b ? 1 : 0;
+        case BinOp::And:
+        case BinOp::Or:
+          break;  // handled above
+      }
+      return 0;
+    }
+    case Expr::Kind::Call:
+      return eval_call(expr, env);
+  }
+  return 0;
+}
+
+long eval(const ExprPtr& expr, const Env& env) {
+  OREGAMI_ASSERT(expr != nullptr, "evaluating a null expression");
+  return eval(*expr, env);
+}
+
+bool eval_bool(const ExprPtr& expr, const Env& env) {
+  return eval(expr, env) != 0;
+}
+
+}  // namespace oregami::larcs

@@ -1,0 +1,44 @@
+// Evaluation of LaRCS expressions under a variable environment
+// (algorithm parameters, imported variables, consts, and rule binders).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "oregami/larcs/ast.hpp"
+
+namespace oregami::larcs {
+
+/// Variable bindings, name -> integer value. Booleans are 0/1.
+class Env {
+ public:
+  Env() = default;
+
+  void bind(const std::string& name, long value) { values_[name] = value; }
+  void unbind(const std::string& name) { values_.erase(name); }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+  [[nodiscard]] long get(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, long>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, long> values_;
+};
+
+/// Evaluates `expr` in `env`. Semantics:
+///   / truncates toward zero; x mod y is mathematical (result in
+///   [0, |y|)); division/mod by zero and unknown variables throw
+///   LarcsError; pow/log2/min/max/abs are built-in calls; comparisons
+///   and and/or/not yield 0/1 (short-circuit evaluation).
+[[nodiscard]] long eval(const Expr& expr, const Env& env);
+[[nodiscard]] long eval(const ExprPtr& expr, const Env& env);
+
+/// True when `expr` evaluates to nonzero (guard convenience).
+[[nodiscard]] bool eval_bool(const ExprPtr& expr, const Env& env);
+
+}  // namespace oregami::larcs

@@ -1,0 +1,149 @@
+#include "oregami/larcs/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace oregami::larcs {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"algorithm", TokenKind::KwAlgorithm},
+      {"import", TokenKind::KwImport},
+      {"const", TokenKind::KwConst},
+      {"nodetype", TokenKind::KwNodetype},
+      {"nodesymmetric", TokenKind::KwNodesymmetric},
+      {"family", TokenKind::KwFamily},
+      {"comphase", TokenKind::KwComphase},
+      {"exphase", TokenKind::KwExphase},
+      {"phases", TokenKind::KwPhases},
+      {"forall", TokenKind::KwForall},
+      {"when", TokenKind::KwWhen},
+      {"volume", TokenKind::KwVolume},
+      {"cost", TokenKind::KwCost},
+      {"eps", TokenKind::KwEps},
+      {"mod", TokenKind::KwMod},
+      {"and", TokenKind::KwAnd},
+      {"or", TokenKind::KwOr},
+      {"not", TokenKind::KwNot},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  int column = 1;
+
+  auto advance = [&](std::size_t count = 1) {
+    for (std::size_t k = 0; k < count && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t offset = 0) -> char {
+    return i + offset < source.size() ? source[i + offset] : '\0';
+  };
+  auto push = [&](TokenKind kind, std::string text, SourceLoc loc,
+                  long value = 0) {
+    tokens.push_back({kind, std::move(text), value, loc});
+  };
+
+  while (i < source.size()) {
+    const char c = peek();
+    const SourceLoc loc{line, column};
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if ((c == '-' && peek(1) == '-') || (c == '/' && peek(1) == '/')) {
+      while (i < source.size() && peek() != '\n') {
+        advance();
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += peek();
+        advance();
+      }
+      long value = 0;
+      for (const char d : digits) {
+        if (value > (9'223'372'036'854'775'807L - (d - '0')) / 10) {
+          throw LarcsError("integer literal overflows", loc);
+        }
+        value = value * 10 + (d - '0');
+      }
+      push(TokenKind::Integer, std::move(digits), loc, value);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        word += peek();
+        advance();
+      }
+      const auto it = keyword_table().find(word);
+      if (it != keyword_table().end()) {
+        push(it->second, std::move(word), loc);
+      } else {
+        push(TokenKind::Identifier, std::move(word), loc);
+      }
+      continue;
+    }
+
+    // Multi-character operators first.
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('.', '.')) { advance(2); push(TokenKind::DotDot, "..", loc); continue; }
+    if (two('-', '>')) { advance(2); push(TokenKind::Arrow, "->", loc); continue; }
+    if (two('=', '=')) { advance(2); push(TokenKind::Eq, "==", loc); continue; }
+    if (two('!', '=')) { advance(2); push(TokenKind::Ne, "!=", loc); continue; }
+    if (two('<', '=')) { advance(2); push(TokenKind::Le, "<=", loc); continue; }
+    if (two('>', '=')) { advance(2); push(TokenKind::Ge, ">=", loc); continue; }
+    if (two('|', '|')) { advance(2); push(TokenKind::ParBar, "||", loc); continue; }
+
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::LParen; break;
+      case ')': kind = TokenKind::RParen; break;
+      case '[': kind = TokenKind::LBracket; break;
+      case ']': kind = TokenKind::RBracket; break;
+      case '{': kind = TokenKind::LBrace; break;
+      case '}': kind = TokenKind::RBrace; break;
+      case ';': kind = TokenKind::Semicolon; break;
+      case ',': kind = TokenKind::Comma; break;
+      case ':': kind = TokenKind::Colon; break;
+      case '=': kind = TokenKind::Assign; break;
+      case '<': kind = TokenKind::Lt; break;
+      case '>': kind = TokenKind::Gt; break;
+      case '+': kind = TokenKind::Plus; break;
+      case '-': kind = TokenKind::Minus; break;
+      case '*': kind = TokenKind::Star; break;
+      case '/': kind = TokenKind::Slash; break;
+      case '%': kind = TokenKind::Percent; break;
+      case '^': kind = TokenKind::Caret; break;
+      default:
+        throw LarcsError(std::string("unexpected character '") + c + "'",
+                         loc);
+    }
+    advance();
+    push(kind, std::string(1, c), loc);
+  }
+
+  tokens.push_back({TokenKind::EndOfFile, "", 0, {line, column}});
+  return tokens;
+}
+
+}  // namespace oregami::larcs

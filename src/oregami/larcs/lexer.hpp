@@ -1,0 +1,17 @@
+// LaRCS lexer: source text -> token vector. Comments run from `--` or
+// `//` to end of line. Identifiers are [A-Za-z_][A-Za-z0-9_]*; keywords
+// are reserved.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "oregami/larcs/token.hpp"
+
+namespace oregami::larcs {
+
+/// Tokenises `source`; the result always ends with an EndOfFile token.
+/// Throws LarcsError (with location) on an unexpected character.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace oregami::larcs

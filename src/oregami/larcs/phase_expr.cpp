@@ -1,0 +1,57 @@
+#include "oregami/larcs/phase_expr.hpp"
+
+#include <algorithm>
+
+namespace oregami::larcs {
+
+PhaseTree lower_phase_expr(const PhaseExprNode& node,
+                           const PhaseNames& names, const Env& env) {
+  switch (node.kind) {
+    case PhaseExprNode::Kind::Idle:
+      return PhaseTree::idle();
+    case PhaseExprNode::Kind::Ref: {
+      const auto comm_it =
+          std::find(names.comm.begin(), names.comm.end(), node.ref_name);
+      if (comm_it != names.comm.end()) {
+        return PhaseTree::comm(
+            static_cast<int>(comm_it - names.comm.begin()));
+      }
+      const auto exec_it =
+          std::find(names.exec.begin(), names.exec.end(), node.ref_name);
+      if (exec_it != names.exec.end()) {
+        return PhaseTree::exec(
+            static_cast<int>(exec_it - names.exec.begin()));
+      }
+      throw LarcsError("phase expression references unknown phase '" +
+                           node.ref_name + "'",
+                       node.loc);
+    }
+    case PhaseExprNode::Kind::Seq: {
+      std::vector<PhaseTree> parts;
+      parts.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        parts.push_back(lower_phase_expr(child, names, env));
+      }
+      return PhaseTree::seq(std::move(parts));
+    }
+    case PhaseExprNode::Kind::Par: {
+      std::vector<PhaseTree> parts;
+      parts.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        parts.push_back(lower_phase_expr(child, names, env));
+      }
+      return PhaseTree::par(std::move(parts));
+    }
+    case PhaseExprNode::Kind::Repeat: {
+      const long count = eval(node.count, env);
+      if (count < 0) {
+        throw LarcsError("phase repetition count is negative", node.loc);
+      }
+      return PhaseTree::repeat(
+          lower_phase_expr(node.children.front(), names, env), count);
+    }
+  }
+  return PhaseTree::idle();
+}
+
+}  // namespace oregami::larcs

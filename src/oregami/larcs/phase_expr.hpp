@@ -1,0 +1,30 @@
+// Evaluation of a LaRCS phase-expression AST into the concrete
+// core::PhaseTree used by TaskGraph and METRICS: repetition counts are
+// evaluated under the program environment and phase names are resolved
+// to comm/exec phase indices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "oregami/core/task_graph.hpp"
+#include "oregami/larcs/ast.hpp"
+#include "oregami/larcs/expr_eval.hpp"
+
+namespace oregami::larcs {
+
+/// Name tables for phase resolution (declaration order indices).
+struct PhaseNames {
+  std::vector<std::string> comm;
+  std::vector<std::string> exec;
+};
+
+/// Lowers `node` to a PhaseTree. A Ref resolves to a comm phase first,
+/// then an exec phase; unknown names throw LarcsError (the parser
+/// should have caught them already). Repeat counts must evaluate
+/// non-negative.
+[[nodiscard]] PhaseTree lower_phase_expr(const PhaseExprNode& node,
+                                         const PhaseNames& names,
+                                         const Env& env);
+
+}  // namespace oregami::larcs

@@ -1,0 +1,98 @@
+#include "oregami/larcs/render.hpp"
+
+namespace oregami::larcs {
+
+namespace {
+
+void render_noderef(std::string& out, const std::string& type,
+                    const std::vector<std::string>& args) {
+  out += type + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += args[i];
+  }
+  out += ")";
+}
+
+}  // namespace
+
+std::string render_program(const Program& program) {
+  std::string out = "algorithm " + program.name + "(";
+  for (std::size_t i = 0; i < program.params.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += program.params[i];
+  }
+  out += ");\n";
+
+  if (!program.imports.empty()) {
+    out += "import ";
+    for (std::size_t i = 0; i < program.imports.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += program.imports[i];
+    }
+    out += ";\n";
+  }
+  for (const auto& [name, value] : program.consts) {
+    out += "const " + name + " = " + value->to_string() + ";\n";
+  }
+  if (program.family_hint) {
+    out += "family " + *program.family_hint + ";\n";
+  }
+  for (const auto& nt : program.nodetypes) {
+    out += "nodetype " + nt.name + "[";
+    for (std::size_t d = 0; d < nt.dims.size(); ++d) {
+      if (d != 0) {
+        out += ", ";
+      }
+      out += nt.dims[d].binder + ": " + nt.dims[d].lo->to_string() +
+             " .. " + nt.dims[d].hi->to_string();
+    }
+    out += "]";
+    if (nt.node_symmetric) {
+      out += " nodesymmetric";
+    }
+    out += ";\n";
+  }
+  for (const auto& cp : program.comm_phases) {
+    out += "comphase " + cp.name + " {\n";
+    for (const auto& rule : cp.rules) {
+      out += "  ";
+      render_noderef(out, rule.src_type, rule.pattern);
+      out += " -> ";
+      std::vector<std::string> targets;
+      targets.reserve(rule.target.size());
+      for (const auto& e : rule.target) {
+        targets.push_back(e->to_string());
+      }
+      render_noderef(out, rule.dst_type, targets);
+      if (rule.forall_binder) {
+        out += " forall " + *rule.forall_binder + ": " +
+               rule.forall_lo->to_string() + " .. " +
+               rule.forall_hi->to_string();
+      }
+      if (rule.guard) {
+        out += " when " + rule.guard->to_string();
+      }
+      if (rule.volume) {
+        out += " volume " + rule.volume->to_string();
+      }
+      out += ";\n";
+    }
+    out += "}\n";
+  }
+  for (const auto& ep : program.exec_phases) {
+    out += "exphase " + ep.name + " cost " + ep.cost->to_string() + ";\n";
+  }
+  if (program.phase_expr) {
+    out += "phases " + program.phase_expr->to_string() + ";\n";
+  }
+  return out;
+}
+
+}  // namespace oregami::larcs

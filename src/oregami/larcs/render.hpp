@@ -1,0 +1,17 @@
+// LaRCS pretty-printer: Program AST -> canonical source text. The
+// output re-parses to a structurally identical program (round-trip
+// property tested), which makes the AST a first-class interchange
+// format for tools that transform LaRCS programs.
+#pragma once
+
+#include <string>
+
+#include "oregami/larcs/ast.hpp"
+
+namespace oregami::larcs {
+
+/// Renders a complete program (fully parenthesised expressions,
+/// canonical keyword spelling, one declaration per construct).
+[[nodiscard]] std::string render_program(const Program& program);
+
+}  // namespace oregami::larcs

@@ -1,0 +1,347 @@
+#include "oregami/mapper/binomial_mesh.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+int BinomialMeshEmbedding::edge_dilation(int m) const {
+  OREGAMI_ASSERT(m > 0 && m < (1 << k), "tree node out of range");
+  // Canonical binomial addressing: the parent clears the child's
+  // lowest set bit (bit j marks the root of a size-2^j subtree).
+  const int parent = m & (m - 1);
+  const int pm = proc_of_node[static_cast<std::size_t>(m)];
+  const int pp = proc_of_node[static_cast<std::size_t>(parent)];
+  const int rm = pm / cols;
+  const int cm = pm % cols;
+  const int rp = pp / cols;
+  const int cp = pp % cols;
+  return std::abs(rm - rp) + std::abs(cm - cp);
+}
+
+double BinomialMeshEmbedding::average_dilation() const {
+  if (k == 0) {
+    return 0.0;
+  }
+  long total = 0;
+  for (int m = 1; m < (1 << k); ++m) {
+    total += edge_dilation(m);
+  }
+  return static_cast<double>(total) / static_cast<double>((1 << k) - 1);
+}
+
+int BinomialMeshEmbedding::max_dilation() const {
+  int best = 0;
+  for (int m = 1; m < (1 << k); ++m) {
+    best = std::max(best, edge_dilation(m));
+  }
+  return best;
+}
+
+namespace {
+
+// The embedding is the optimum over the recursive-bisection family:
+// B_j occupies a near-square 2^ceil(j/2) x 2^floor(j/2) region; the
+// region splits across its longer side (either side of a square); the
+// root's B_{j-1} keeps the root's half and the other B_{j-1}'s root may
+// be ANY cell of the opposite half. cost[j][r][c] = minimum total
+// dilation of B_j laid out in the canonical (tall) region with its
+// root at (r, c). Computed bottom-up; each level needs the min over
+// child cells of (Manhattan distance + child cost), which is a
+// Manhattan distance transform (two-pass chamfer) over the region.
+
+constexpr long kInf = std::numeric_limits<long>::max() / 4;
+
+struct CostTable {
+  int h = 0;  ///< canonical tall shape: h >= w
+  int w = 0;
+  std::vector<long> value;  ///< h * w entries, row-major
+
+  [[nodiscard]] long at(int r, int c) const {
+    return value[static_cast<std::size_t>(r * w + c)];
+  }
+  long& at(int r, int c) {
+    return value[static_cast<std::size_t>(r * w + c)];
+  }
+};
+
+/// Two-pass chamfer transform in place: out(p) = min_q in(q) + |p - q|.
+void distance_transform(std::vector<long>& grid, int h, int w) {
+  auto at = [&](int r, int c) -> long& {
+    return grid[static_cast<std::size_t>(r * w + c)];
+  };
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      if (r > 0) {
+        at(r, c) = std::min(at(r, c), at(r - 1, c) + 1);
+      }
+      if (c > 0) {
+        at(r, c) = std::min(at(r, c), at(r, c - 1) + 1);
+      }
+    }
+  }
+  for (int r = h - 1; r >= 0; --r) {
+    for (int c = w - 1; c >= 0; --c) {
+      if (r + 1 < h) {
+        at(r, c) = std::min(at(r, c), at(r + 1, c) + 1);
+      }
+      if (c + 1 < w) {
+        at(r, c) = std::min(at(r, c), at(r, c + 1) + 1);
+      }
+    }
+  }
+}
+
+/// Child cost of a half, mapped to the canonical orientation of level
+/// j-1. `half_h x half_w` is the half's own shape; the canonical child
+/// table is tall, so a wide half reads through a transpose.
+long child_cost(const CostTable& child, int r, int c, int half_h,
+                int half_w) {
+  if (half_h >= half_w) {
+    OREGAMI_ASSERT(child.h == half_h && child.w == half_w,
+                   "child table shape mismatch");
+    return child.at(r, c);
+  }
+  OREGAMI_ASSERT(child.h == half_w && child.w == half_h,
+                 "child table shape mismatch (transposed)");
+  return child.at(c, r);
+}
+
+/// cost table for a rows-split of the (h x w) region at h/2.
+CostTable rows_split_table(const CostTable& child, int h, int w) {
+  CostTable out;
+  out.h = h;
+  out.w = w;
+  out.value.assign(static_cast<std::size_t>(h * w), kInf);
+  const int hh = h / 2;
+
+  // F_top(p) = min over q in top half of child_cost(q) + dist(p, q).
+  std::vector<long> f_top(static_cast<std::size_t>(h * w), kInf);
+  std::vector<long> f_bottom(static_cast<std::size_t>(h * w), kInf);
+  for (int r = 0; r < hh; ++r) {
+    for (int c = 0; c < w; ++c) {
+      f_top[static_cast<std::size_t>(r * w + c)] =
+          child_cost(child, r, c, hh, w);
+    }
+  }
+  for (int r = hh; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      f_bottom[static_cast<std::size_t>(r * w + c)] =
+          child_cost(child, r - hh, c, hh, w);
+    }
+  }
+  distance_transform(f_top, h, w);
+  distance_transform(f_bottom, h, w);
+
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      const bool in_top = r < hh;
+      const long own = in_top ? child_cost(child, r, c, hh, w)
+                              : child_cost(child, r - hh, c, hh, w);
+      const long other = in_top ? f_bottom[static_cast<std::size_t>(r * w + c)]
+                                : f_top[static_cast<std::size_t>(r * w + c)];
+      out.at(r, c) = own + other;
+    }
+  }
+  return out;
+}
+
+std::vector<CostTable> build_cost_tables(int k) {
+  std::vector<CostTable> tables(static_cast<std::size_t>(k) + 1);
+  tables[0] = {1, 1, {0}};
+  for (int j = 1; j <= k; ++j) {
+    const int h = 1 << ((j + 1) / 2);
+    const int w = 1 << (j / 2);
+    CostTable t = rows_split_table(tables[static_cast<std::size_t>(j - 1)],
+                                   h, w);
+    if (h == w) {
+      // Square: the columns-split equals the rows-split evaluated at the
+      // transposed root position; take the elementwise minimum.
+      CostTable merged = t;
+      for (int r = 0; r < h; ++r) {
+        for (int c = 0; c < w; ++c) {
+          merged.at(r, c) = std::min(t.at(r, c), t.at(c, r));
+        }
+      }
+      t = std::move(merged);
+    }
+    tables[static_cast<std::size_t>(j)] = std::move(t);
+  }
+  return tables;
+}
+
+/// Absolute-coordinates region with an orientation mapping onto the
+/// canonical tall table: local tall coords (r, c) -> absolute cell.
+struct Region {
+  int r0 = 0;
+  int c0 = 0;
+  int h = 0;  ///< absolute extent in rows
+  int w = 0;
+  bool transposed = false;  ///< canonical (r,c) maps to (c0+r? ...) see map()
+
+  /// Canonical tall shape extents.
+  [[nodiscard]] int th() const { return transposed ? w : h; }
+  [[nodiscard]] int tw() const { return transposed ? h : w; }
+
+  /// Canonical (r, c) -> absolute (row, col).
+  [[nodiscard]] std::pair<int, int> abs_of(int r, int c) const {
+    return transposed ? std::pair{r0 + c, c0 + r} : std::pair{r0 + r, c0 + c};
+  }
+};
+
+struct Builder {
+  std::vector<CostTable> tables;
+  int mesh_cols = 0;
+  std::vector<int>* out = nullptr;
+
+  /// Places B_j rooted (canonical-local) at (r, c) into `region`.
+  void place(int j, int base, const Region& region, int r, int c) {
+    if (j == 0) {
+      const auto [ar, ac] = region.abs_of(r, c);
+      (*out)[static_cast<std::size_t>(base)] = ar * mesh_cols + ac;
+      return;
+    }
+    const CostTable& table = tables[static_cast<std::size_t>(j)];
+    const CostTable& child = tables[static_cast<std::size_t>(j - 1)];
+    const int h = region.th();
+    const int w = region.tw();
+    const int hh = h / 2;
+
+    // Candidate orientations: rows-split of the canonical view; for a
+    // square also the transposed view. Evaluate explicitly and pick a
+    // split + child cell achieving the table value.
+    struct Choice {
+      bool transpose_view = false;
+      int cr = 0;  ///< child root, canonical view of the chosen split
+      int cc = 0;
+      long total = kInf;
+    };
+    Choice best;
+    for (const bool transpose_view : {false, true}) {
+      if (transpose_view && h != w) {
+        continue;
+      }
+      const int vr = transpose_view ? c : r;
+      const int vc = transpose_view ? r : c;
+      // Own half: top when vr < hh. Halves have shape hh x w.
+      const bool in_top = vr < hh;
+      const long own =
+          child_cost(child, in_top ? vr : vr - hh, vc, hh, w);
+      const int lo = in_top ? hh : 0;
+      const int hi = in_top ? h : hh;
+      for (int r2 = lo; r2 < hi; ++r2) {
+        for (int c2 = 0; c2 < w; ++c2) {
+          const long total =
+              own + child_cost(child, r2 - lo, c2, hh, w) +
+              std::abs(vr - r2) + std::abs(vc - c2);
+          if (total < best.total) {
+            best = {transpose_view, r2, c2, total};
+          }
+        }
+      }
+    }
+    OREGAMI_ASSERT(best.total == table.at(r, c),
+                   "reconstruction must achieve the DP optimum");
+
+    // Realise the chosen split: compute sub-regions in absolute space.
+    const bool tv = best.transpose_view;
+    const int vr = tv ? c : r;
+    const int vc = tv ? r : c;
+    const bool in_top = vr < hh;
+
+    // A half of the canonical view: canonical rows [a, a+hh) x all cols.
+    auto half_region = [&](int a) {
+      Region sub;
+      // Canonical cell (a + rr, cc) of the view maps to absolute via
+      // region.abs_of with view transpose folded in.
+      const auto [ar0, ac0] =
+          tv ? region.abs_of(0, a) : region.abs_of(a, 0);
+      sub.r0 = ar0;
+      sub.c0 = ac0;
+      // The half's shape in view coords is hh x w; canonical child
+      // orientation is tall.
+      const bool half_tall = hh >= w;
+      // Build the absolute extents of the half.
+      int half_abs_h;
+      int half_abs_w;
+      if (tv == region.transposed) {
+        // View rows run along absolute rows.
+        half_abs_h = hh;
+        half_abs_w = w;
+      } else {
+        half_abs_h = w;
+        half_abs_w = hh;
+      }
+      sub.h = half_abs_h;
+      sub.w = half_abs_w;
+      // Canonical (tall) coords of the child: if the half is tall in
+      // view coords, canonical == view; else canonical = transposed
+      // view. Chain with how view coords map to absolute.
+      const bool view_is_abs_rows = (tv == region.transposed);
+      const bool canonical_is_view = half_tall;
+      // canonical -> absolute rows iff canonical == view == abs-rows or
+      // canonical == transposed-view == transposed-abs-rows.
+      sub.transposed = !(canonical_is_view == view_is_abs_rows);
+      return sub;
+    };
+
+    const Region own_region = half_region(in_top ? 0 : hh);
+    const Region other_region = half_region(in_top ? hh : 0);
+
+    auto to_child_coords = [&](int view_r, int view_c, bool half_tall) {
+      // view-local (within half) -> canonical child coords.
+      return half_tall ? std::pair{view_r, view_c}
+                       : std::pair{view_c, view_r};
+    };
+    const bool half_tall = hh >= w;
+    const auto [own_r, own_c] =
+        to_child_coords(in_top ? vr : vr - hh, vc, half_tall);
+    const auto [oth_r, oth_c] = to_child_coords(
+        in_top ? best.cr - hh : best.cr, best.cc, half_tall);
+
+    place(j - 1, base, own_region, own_r, own_c);
+    place(j - 1, base | (1 << (j - 1)), other_region, oth_r, oth_c);
+  }
+};
+
+}  // namespace
+
+BinomialMeshEmbedding embed_binomial_in_mesh(int k) {
+  OREGAMI_ASSERT(k >= 0 && k <= 24, "binomial order out of range");
+  BinomialMeshEmbedding out;
+  out.k = k;
+  out.rows = 1 << ((k + 1) / 2);
+  out.cols = 1 << (k / 2);
+  out.proc_of_node.assign(static_cast<std::size_t>(1) << k, -1);
+
+  Builder builder;
+  builder.tables = build_cost_tables(k);
+  builder.mesh_cols = out.cols;
+  builder.out = &out.proc_of_node;
+
+  // Top-level root: the cell minimising total dilation.
+  const CostTable& top = builder.tables[static_cast<std::size_t>(k)];
+  int best_r = 0;
+  int best_c = 0;
+  for (int r = 0; r < top.h; ++r) {
+    for (int c = 0; c < top.w; ++c) {
+      if (top.at(r, c) < top.at(best_r, best_c)) {
+        best_r = r;
+        best_c = c;
+      }
+    }
+  }
+  Region whole;
+  whole.r0 = 0;
+  whole.c0 = 0;
+  whole.h = out.rows;
+  whole.w = out.cols;
+  whole.transposed = false;
+  builder.place(k, 0, whole, best_r, best_c);
+  return out;
+}
+
+}  // namespace oregami

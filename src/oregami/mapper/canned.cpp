@@ -1,0 +1,490 @@
+#include "oregami/mapper/canned.hpp"
+
+#include <algorithm>
+
+#include "oregami/graph/gray_code.hpp"
+#include "oregami/mapper/binomial_mesh.hpp"
+#include "oregami/mapper/cbt_mesh.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+GraphFamily family_from_hint(const std::string& hint) {
+  if (hint == "ring") return GraphFamily::Ring;
+  if (hint == "chain" || hint == "linear" || hint == "path") {
+    return GraphFamily::Chain;
+  }
+  if (hint == "mesh" || hint == "grid") return GraphFamily::Mesh;
+  if (hint == "hypercube" || hint == "cube") return GraphFamily::Hypercube;
+  if (hint == "complete_binary_tree" || hint == "cbt") {
+    return GraphFamily::CompleteBinaryTree;
+  }
+  if (hint == "binomial_tree" || hint == "binomial") {
+    return GraphFamily::BinomialTree;
+  }
+  if (hint == "star") return GraphFamily::Star;
+  if (hint == "complete" || hint == "clique") return GraphFamily::Complete;
+  return GraphFamily::Unknown;
+}
+
+std::optional<RecognizedFamily> detect_specific_family(const Graph& g,
+                                                       GraphFamily family) {
+  switch (family) {
+    case GraphFamily::Ring: return detect_ring(g);
+    case GraphFamily::Chain: return detect_chain(g);
+    case GraphFamily::Mesh: return detect_mesh(g);
+    case GraphFamily::Hypercube: return detect_hypercube(g);
+    case GraphFamily::CompleteBinaryTree:
+      return detect_complete_binary_tree(g);
+    case GraphFamily::BinomialTree: return detect_binomial_tree(g);
+    case GraphFamily::Star: return detect_star(g);
+    case GraphFamily::Complete: return detect_complete(g);
+    case GraphFamily::Unknown: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Contraction of linearly ordered positions into `clusters` contiguous
+/// balanced blocks.
+Contraction contiguous_blocks(const std::vector<int>& position_of_task,
+                              int clusters) {
+  const int n = static_cast<int>(position_of_task.size());
+  Contraction c;
+  c.num_clusters = clusters;
+  c.cluster_of_task.resize(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const long pos = position_of_task[static_cast<std::size_t>(t)];
+    c.cluster_of_task[static_cast<std::size_t>(t)] =
+        static_cast<int>(pos * clusters / n);
+  }
+  return c;
+}
+
+/// Boustrophedon (snake) walk position -> mesh processor.
+int snake_proc(const Topology& topo, int position) {
+  const int cols = topo.shape()[1];
+  const int row = position / cols;
+  const int col = position % cols;
+  return topo.at2d(row, (row % 2 == 0) ? col : cols - 1 - col);
+}
+
+/// Inorder rank (1-based) of heap index x in a complete BST over
+/// [1, n]; n = 2^h - 1.
+long inorder_of_heap(long x, long n) {
+  long lo = 1;
+  long hi = n;
+  const int depth = floor_log2(static_cast<std::uint64_t>(x) + 1);
+  for (int b = depth - 1; b >= 0; --b) {
+    const long mid = (lo + hi) / 2;
+    if (((x + 1) >> b) & 1) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+std::optional<CannedMapping> map_linear(const RecognizedFamily& family,
+                                        const Topology& topo) {
+  const int n = static_cast<int>(family.canonical_label.size());
+  const int p = topo.num_procs();
+  const int clusters = std::min(n, p);
+  CannedMapping out;
+  out.contraction = contiguous_blocks(family.canonical_label, clusters);
+  out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(clusters));
+  switch (topo.family()) {
+    case TopoFamily::Ring:
+    case TopoFamily::Chain:
+      for (int c = 0; c < clusters; ++c) {
+        out.embedding.proc_of_cluster[static_cast<std::size_t>(c)] = c;
+      }
+      out.description = to_string(family.family) +
+                        " -> linear walk (dilation 1 on non-wrap edges)";
+      return out;
+    case TopoFamily::Hypercube:
+      for (int c = 0; c < clusters; ++c) {
+        out.embedding.proc_of_cluster[static_cast<std::size_t>(c)] =
+            static_cast<int>(gray_code(static_cast<std::uint32_t>(c)));
+      }
+      out.description = to_string(family.family) +
+                        " -> hypercube via reflected Gray code "
+                        "(dilation 1 on non-wrap edges)";
+      return out;
+    case TopoFamily::Mesh:
+    case TopoFamily::Torus:
+      for (int c = 0; c < clusters; ++c) {
+        out.embedding.proc_of_cluster[static_cast<std::size_t>(c)] =
+            snake_proc(topo, c);
+      }
+      out.description = to_string(family.family) +
+                        " -> mesh snake walk (dilation 1 on non-wrap "
+                        "edges)";
+      return out;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<CannedMapping> map_mesh_family(const RecognizedFamily& family,
+                                             const Topology& topo) {
+  const int n = static_cast<int>(family.canonical_label.size());
+  const int rows = family.params[0];
+  const int cols = family.params[1];
+
+  // Tile factor per axis for a target grid tr x tc.
+  auto tiled_contraction = [&](int tr, int tc) {
+    Contraction c;
+    c.num_clusters = tr * tc;
+    c.cluster_of_task.resize(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      const int pos = family.canonical_label[static_cast<std::size_t>(t)];
+      const long i = pos / cols;
+      const long j = pos % cols;
+      const long a = i * tr / rows;
+      const long b = j * tc / cols;
+      c.cluster_of_task[static_cast<std::size_t>(t)] =
+          static_cast<int>(a * tc + b);
+    }
+    return c;
+  };
+
+  if (topo.family() == TopoFamily::Mesh ||
+      topo.family() == TopoFamily::Torus) {
+    const int tr = std::min(rows, topo.shape()[0]);
+    const int tc = std::min(cols, topo.shape()[1]);
+    CannedMapping out;
+    out.contraction = tiled_contraction(tr, tc);
+    out.embedding.proc_of_cluster.resize(
+        static_cast<std::size_t>(tr * tc));
+    for (int a = 0; a < tr; ++a) {
+      for (int b = 0; b < tc; ++b) {
+        out.embedding.proc_of_cluster[static_cast<std::size_t>(a * tc + b)] =
+            topo.at2d(a, b);
+      }
+    }
+    out.description = "mesh -> mesh block tiling (dilation 1)";
+    return out;
+  }
+
+  if (topo.family() == TopoFamily::Hypercube) {
+    // Need power-of-two tile factors tr x tc = 2^d with tr <= rows,
+    // tc <= cols; prefer the most balanced split.
+    const int d = topo.shape()[0];
+    int best_a = -1;
+    for (int a = 0; a <= d; ++a) {
+      const long tr = 1L << a;
+      const long tc = 1L << (d - a);
+      if (tr <= rows && tc <= cols) {
+        if (best_a == -1 ||
+            std::abs(2 * a - d) < std::abs(2 * best_a - d)) {
+          best_a = a;
+        }
+      }
+    }
+    if (best_a == -1) {
+      // Task grid smaller than the cube: embed directly when both axes
+      // are powers of two.
+      if (!is_power_of_two(static_cast<std::uint64_t>(rows)) ||
+          !is_power_of_two(static_cast<std::uint64_t>(cols)) ||
+          static_cast<long>(rows) * cols > topo.num_procs()) {
+        return std::nullopt;
+      }
+      const int cbits = floor_log2(static_cast<std::uint64_t>(cols));
+      CannedMapping out;
+      out.contraction = Contraction::identity(n);
+      out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(n));
+      for (int t = 0; t < n; ++t) {
+        const int pos = family.canonical_label[static_cast<std::size_t>(t)];
+        const auto i = static_cast<std::uint32_t>(pos / cols);
+        const auto j = static_cast<std::uint32_t>(pos % cols);
+        out.embedding.proc_of_cluster[static_cast<std::size_t>(t)] =
+            static_cast<int>((gray_code(i) << cbits) | gray_code(j));
+      }
+      out.description =
+          "mesh -> hypercube via per-axis Gray codes (dilation 1)";
+      return out;
+    }
+    const int tr = 1 << best_a;
+    const int tc = 1 << (d - best_a);
+    const int cbits = d - best_a;
+    CannedMapping out;
+    out.contraction = tiled_contraction(tr, tc);
+    out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(tr * tc));
+    for (int a = 0; a < tr; ++a) {
+      for (int b = 0; b < tc; ++b) {
+        out.embedding.proc_of_cluster[static_cast<std::size_t>(a * tc + b)] =
+            static_cast<int>(
+                (gray_code(static_cast<std::uint32_t>(a)) << cbits) |
+                gray_code(static_cast<std::uint32_t>(b)));
+      }
+    }
+    out.description =
+        "mesh -> hypercube via tiling + per-axis Gray codes (dilation 1)";
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<CannedMapping> map_hypercube_family(
+    const RecognizedFamily& family, const Topology& topo) {
+  if (topo.family() != TopoFamily::Hypercube) {
+    return std::nullopt;
+  }
+  const int n = static_cast<int>(family.canonical_label.size());
+  const int k = family.params[0];
+  const int d = topo.shape()[0];
+  const int eff = std::min(k, d);
+  const int clusters = 1 << eff;
+  CannedMapping out;
+  out.contraction.num_clusters = clusters;
+  out.contraction.cluster_of_task.resize(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    out.contraction.cluster_of_task[static_cast<std::size_t>(t)] =
+        family.canonical_label[static_cast<std::size_t>(t)] & (clusters - 1);
+  }
+  out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    out.embedding.proc_of_cluster[static_cast<std::size_t>(c)] = c;
+  }
+  out.description =
+      k <= d ? "hypercube -> hypercube identity (dilation 1)"
+             : "hypercube -> subcube contraction on low bits (dilation 1)";
+  return out;
+}
+
+std::optional<CannedMapping> map_binomial_family(
+    const RecognizedFamily& family, const Topology& topo) {
+  const int n = static_cast<int>(family.canonical_label.size());
+  const int k = family.params[0];
+
+  if (topo.family() == TopoFamily::Hypercube) {
+    // Address map: node m -> processor m & (2^d - 1). The edge into m
+    // clears m's lowest set bit b: if b < d the processors differ in
+    // exactly bit b (dilation 1); otherwise both endpoints are 0 mod
+    // 2^d and the edge is internal.
+    const int d = topo.shape()[0];
+    const int eff = std::min(k, d);
+    const int clusters = 1 << eff;
+    CannedMapping out;
+    out.contraction.num_clusters = clusters;
+    out.contraction.cluster_of_task.resize(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      out.contraction.cluster_of_task[static_cast<std::size_t>(t)] =
+          family.canonical_label[static_cast<std::size_t>(t)] &
+          (clusters - 1);
+    }
+    out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(clusters));
+    for (int c = 0; c < clusters; ++c) {
+      out.embedding.proc_of_cluster[static_cast<std::size_t>(c)] = c;
+    }
+    out.description = "binomial tree -> hypercube address map (dilation 1)";
+    return out;
+  }
+
+  if (topo.family() == TopoFamily::Mesh) {
+    // The [LRG+89] embedding: contract to B_d (low-bit clusters), then
+    // recursive-bisection placement with average dilation <= ~1.2.
+    const int mesh_rows = topo.shape()[0];
+    const int mesh_cols = topo.shape()[1];
+    int d = std::min(k, floor_log2(static_cast<std::uint64_t>(
+                            topo.num_procs())));
+    // Shrink until the embedding rectangle fits the target mesh
+    // (directly or transposed).
+    auto fits = [&](int dd, bool& transpose) {
+      const int er = 1 << ((dd + 1) / 2);
+      const int ec = 1 << (dd / 2);
+      if (er <= mesh_rows && ec <= mesh_cols) {
+        transpose = false;
+        return true;
+      }
+      if (ec <= mesh_rows && er <= mesh_cols) {
+        transpose = true;
+        return true;
+      }
+      return false;
+    };
+    bool transpose = false;
+    while (d >= 0 && !fits(d, transpose)) {
+      --d;
+    }
+    if (d < 0) {
+      return std::nullopt;
+    }
+    const auto embedding = embed_binomial_in_mesh(d);
+    const int clusters = 1 << d;
+    CannedMapping out;
+    out.contraction.num_clusters = clusters;
+    out.contraction.cluster_of_task.resize(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      out.contraction.cluster_of_task[static_cast<std::size_t>(t)] =
+          family.canonical_label[static_cast<std::size_t>(t)] &
+          (clusters - 1);
+    }
+    out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(clusters));
+    for (int c = 0; c < clusters; ++c) {
+      const int pos = embedding.proc_of_node[static_cast<std::size_t>(c)];
+      const int er = pos / embedding.cols;
+      const int ec = pos % embedding.cols;
+      out.embedding.proc_of_cluster[static_cast<std::size_t>(c)] =
+          transpose ? topo.at2d(ec, er) : topo.at2d(er, ec);
+    }
+    out.description =
+        "binomial tree -> mesh recursive bisection ([LRG+89], average "
+        "dilation <= 1.2)";
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<CannedMapping> map_cbt_family(const RecognizedFamily& family,
+                                            const Topology& topo) {
+  if (topo.family() == TopoFamily::Mesh) {
+    // H-tree layout; needs a (2^ceil(h/2)-1) x (2^(floor(h/2)+1)-1)
+    // sub-grid (about 2n processors), directly or transposed.
+    const int n = static_cast<int>(family.canonical_label.size());
+    const int h = family.params[0];
+    const auto layout = embed_cbt_in_mesh(h);
+    const int rows = topo.shape()[0];
+    const int cols = topo.shape()[1];
+    bool transpose = false;
+    if (layout.rows <= rows && layout.cols <= cols) {
+      transpose = false;
+    } else if (layout.cols <= rows && layout.rows <= cols) {
+      transpose = true;
+    } else {
+      return std::nullopt;
+    }
+    CannedMapping out;
+    out.contraction = Contraction::identity(n);
+    out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      const int heap = family.canonical_label[static_cast<std::size_t>(t)];
+      const int cell = layout.cell_of_node[static_cast<std::size_t>(heap)];
+      const int r = cell / layout.cols;
+      const int c = cell % layout.cols;
+      out.embedding.proc_of_cluster[static_cast<std::size_t>(t)] =
+          transpose ? topo.at2d(c, r) : topo.at2d(r, c);
+    }
+    out.description =
+        "complete binary tree -> mesh H-tree layout (leaf edges "
+        "dilation 1)";
+    return out;
+  }
+  if (topo.family() != TopoFamily::Hypercube) {
+    return std::nullopt;
+  }
+  const int n = static_cast<int>(family.canonical_label.size());
+  if (n > topo.num_procs()) {
+    return std::nullopt;
+  }
+  // Inorder embedding: tree node (heap index) -> its inorder number in
+  // [1, n]; parent-child inorder labels differ in at most 2 bits, so
+  // dilation <= 2 in the cube.
+  CannedMapping out;
+  out.contraction = Contraction::identity(n);
+  out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const long heap = family.canonical_label[static_cast<std::size_t>(t)];
+    out.embedding.proc_of_cluster[static_cast<std::size_t>(t)] =
+        static_cast<int>(inorder_of_heap(heap, n));
+  }
+  out.description =
+      "complete binary tree -> hypercube inorder embedding (dilation <= 2)";
+  return out;
+}
+
+std::optional<CannedMapping> map_star_family(const RecognizedFamily& family,
+                                             const Topology& topo) {
+  const int n = static_cast<int>(family.canonical_label.size());
+  const int p = topo.num_procs();
+  const int clusters = std::min(n, p);
+  if (clusters < 2) {
+    return std::nullopt;
+  }
+
+  // Hub cluster 0 alone; leaves round-robin over the rest.
+  CannedMapping out;
+  out.contraction.num_clusters = clusters;
+  out.contraction.cluster_of_task.resize(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const int pos = family.canonical_label[static_cast<std::size_t>(t)];
+    out.contraction.cluster_of_task[static_cast<std::size_t>(t)] =
+        pos == 0 ? 0 : 1 + (pos - 1) % (clusters - 1);
+  }
+  // Hub on the highest-degree processor, leaves in BFS order from it.
+  int hub = 0;
+  for (int v = 1; v < p; ++v) {
+    if (topo.graph().degree(v) > topo.graph().degree(hub)) {
+      hub = v;
+    }
+  }
+  std::vector<int> order;
+  order.push_back(hub);
+  {
+    std::vector<int> by_dist;
+    for (int v = 0; v < p; ++v) {
+      if (v != hub) {
+        by_dist.push_back(v);
+      }
+    }
+    std::stable_sort(by_dist.begin(), by_dist.end(), [&](int a, int b) {
+      return topo.distance(hub, a) < topo.distance(hub, b);
+    });
+    order.insert(order.end(), by_dist.begin(), by_dist.end());
+  }
+  out.embedding.proc_of_cluster.resize(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    out.embedding.proc_of_cluster[static_cast<std::size_t>(c)] =
+        order[static_cast<std::size_t>(c)];
+  }
+  out.description = "star -> hub on max-degree processor, leaves by "
+                    "distance";
+  return out;
+}
+
+}  // namespace
+
+std::optional<CannedMapping> canned_mapping(const RecognizedFamily& family,
+                                            const Topology& topo) {
+  if (family.family == GraphFamily::Unknown ||
+      family.canonical_label.empty()) {
+    return std::nullopt;
+  }
+  std::optional<CannedMapping> result;
+  switch (family.family) {
+    case GraphFamily::Ring:
+    case GraphFamily::Chain:
+      result = map_linear(family, topo);
+      break;
+    case GraphFamily::Mesh:
+      result = map_mesh_family(family, topo);
+      break;
+    case GraphFamily::Hypercube:
+      result = map_hypercube_family(family, topo);
+      break;
+    case GraphFamily::BinomialTree:
+      result = map_binomial_family(family, topo);
+      break;
+    case GraphFamily::CompleteBinaryTree:
+      result = map_cbt_family(family, topo);
+      break;
+    case GraphFamily::Star:
+      result = map_star_family(family, topo);
+      break;
+    case GraphFamily::Complete:
+    case GraphFamily::Unknown:
+      result = std::nullopt;
+      break;
+  }
+  if (result) {
+    result->contraction.validate(
+        static_cast<int>(family.canonical_label.size()));
+    result->embedding.validate(topo.num_procs());
+  }
+  return result;
+}
+
+}  // namespace oregami

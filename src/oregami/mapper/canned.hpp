@@ -1,0 +1,51 @@
+// Canned contraction + embedding library for nameable task graphs
+// (paper §4.1): constant-time lookups keyed on (task family, network
+// family). Routing is not part of a canned entry; the driver always
+// finishes with MM-Route.
+//
+// Implemented pairs (task family -> network family):
+//   ring/chain     -> ring, chain, mesh (snake), hypercube (Gray code)
+//   mesh           -> mesh (tiling), hypercube (Gray code per axis)
+//   hypercube      -> hypercube (subcube contraction)
+//   binomial tree  -> hypercube (address map), mesh (the [LRG+89]
+//                     recursive embedding, see binomial_mesh.hpp)
+//   complete bin.  -> hypercube (inorder embedding, dilation <= 2)
+//   star           -> any topology (hub + neighbours first)
+//   any family     -> same family, same size (identity)
+// When tasks outnumber processors, the entries contract canonically
+// (contiguous blocks / tiles / subcubes / subtrees) before embedding.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "oregami/arch/topology.hpp"
+#include "oregami/core/mapping.hpp"
+#include "oregami/core/recognize.hpp"
+
+namespace oregami {
+
+/// A contraction + embedding produced by table lookup.
+struct CannedMapping {
+  Contraction contraction;
+  Embedding embedding;
+  std::string description;
+};
+
+/// Looks up a canned mapping for a recognized task-graph family onto
+/// `topo`. Returns nullopt when no table entry covers the pair (the
+/// driver then falls back to the general algorithms). Requires
+/// `family.canonical_label` to cover every task.
+[[nodiscard]] std::optional<CannedMapping> canned_mapping(
+    const RecognizedFamily& family, const Topology& topo);
+
+/// Parses a LaRCS `family` hint ("ring", "mesh", "hypercube",
+/// "binomial_tree", "complete_binary_tree", "chain", "star",
+/// "complete") to the detector enum; Unknown for anything else.
+[[nodiscard]] GraphFamily family_from_hint(const std::string& hint);
+
+/// Runs only the detector matching `family` (used with LaRCS hints).
+[[nodiscard]] std::optional<RecognizedFamily> detect_specific_family(
+    const Graph& g, GraphFamily family);
+
+}  // namespace oregami

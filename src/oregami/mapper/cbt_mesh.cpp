@@ -1,0 +1,84 @@
+#include "oregami/mapper/cbt_mesh.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+int CbtMeshEmbedding::edge_dilation(int node) const {
+  OREGAMI_ASSERT(node > 0 &&
+                     node < static_cast<int>(cell_of_node.size()),
+                 "tree node out of range");
+  const int parent = (node - 1) / 2;
+  const int a = cell_of_node[static_cast<std::size_t>(node)];
+  const int b = cell_of_node[static_cast<std::size_t>(parent)];
+  return std::abs(a / cols - b / cols) + std::abs(a % cols - b % cols);
+}
+
+double CbtMeshEmbedding::average_dilation() const {
+  const int n = static_cast<int>(cell_of_node.size());
+  if (n <= 1) {
+    return 0.0;
+  }
+  long total = 0;
+  for (int v = 1; v < n; ++v) {
+    total += edge_dilation(v);
+  }
+  return static_cast<double>(total) / static_cast<double>(n - 1);
+}
+
+int CbtMeshEmbedding::max_dilation() const {
+  int best = 0;
+  for (int v = 1; v < static_cast<int>(cell_of_node.size()); ++v) {
+    best = std::max(best, edge_dilation(v));
+  }
+  return best;
+}
+
+namespace {
+
+int width_of(int h) { return (1 << (h / 2 + 1)) - 1; }
+int height_of(int h) { return (1 << ((h + 1) / 2)) - 1; }
+
+/// Recursive H-tree placement: node (heap index) at (r, c); children
+/// offset along the current axis by half the child footprint.
+void place(int h, int node, int r, int c, bool horizontal, int cols,
+           std::vector<int>& cell_of_node) {
+  cell_of_node[static_cast<std::size_t>(node)] = r * cols + c;
+  if (h == 1) {
+    return;
+  }
+  const int offset = horizontal ? (width_of(h - 1) + 1) / 2
+                                : (height_of(h - 1) + 1) / 2;
+  const int dr = horizontal ? 0 : offset;
+  const int dc = horizontal ? offset : 0;
+  place(h - 1, 2 * node + 1, r - dr, c - dc, !horizontal, cols,
+        cell_of_node);
+  place(h - 1, 2 * node + 2, r + dr, c + dc, !horizontal, cols,
+        cell_of_node);
+}
+
+}  // namespace
+
+CbtMeshEmbedding embed_cbt_in_mesh(int h) {
+  OREGAMI_ASSERT(h >= 1 && h <= 20, "tree height out of range");
+  CbtMeshEmbedding out;
+  out.h = h;
+  out.cols = width_of(h);
+  out.rows = height_of(h);
+  out.cell_of_node.assign((static_cast<std::size_t>(1) << h) - 1, -1);
+  // Levels alternate horizontal/vertical; the top level splits the
+  // wider axis, which by the dimension formulas is horizontal for even
+  // h and also for h == 1 (degenerate single cell).
+  const bool top_horizontal = h % 2 == 0 || h == 1;
+  place(h, 0, out.rows / 2, out.cols / 2, top_horizontal, out.cols,
+        out.cell_of_node);
+  for (const int cell : out.cell_of_node) {
+    OREGAMI_ASSERT(cell >= 0, "every node must be placed");
+  }
+  return out;
+}
+
+}  // namespace oregami

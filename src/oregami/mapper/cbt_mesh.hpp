@@ -1,0 +1,31 @@
+// H-tree embedding of the complete binary tree into a mesh -- the
+// classic VLSI layout, used as the canned entry for CBT task graphs on
+// mesh architectures. A tree of 2^h - 1 nodes occupies a
+// (2^ceil(h/2) - 1) x (2^(floor(h/2)+1) - 1) grid; the two subtrees of
+// a node sit in disjoint half-grids on alternating axes, so edge
+// dilation at tree level l is ~2^(l/2-1) and the *average* dilation
+// over all edges stays bounded (most edges are near the leaves and have
+// dilation 1).
+#pragma once
+
+#include <vector>
+
+namespace oregami {
+
+struct CbtMeshEmbedding {
+  int h = 0;     ///< tree levels (2^h - 1 nodes)
+  int rows = 0;  ///< grid rows = 2^ceil(h/2) - 1
+  int cols = 0;  ///< grid cols = 2^(floor(h/2)+1) - 1
+  /// Grid cell (row * cols + col) of each heap-indexed tree node.
+  std::vector<int> cell_of_node;
+
+  /// Mesh distance between node and its heap parent.
+  [[nodiscard]] int edge_dilation(int node) const;
+  [[nodiscard]] double average_dilation() const;
+  [[nodiscard]] int max_dilation() const;
+};
+
+/// Builds the H-tree layout for 1 <= h <= 20.
+[[nodiscard]] CbtMeshEmbedding embed_cbt_in_mesh(int h);
+
+}  // namespace oregami

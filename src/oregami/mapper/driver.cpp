@@ -1,0 +1,268 @@
+#include "oregami/mapper/driver.hpp"
+
+#include <algorithm>
+
+#include "oregami/arch/routes.hpp"
+#include "oregami/core/recognize.hpp"
+#include "oregami/mapper/canned.hpp"
+#include "oregami/mapper/group_contract.hpp"
+#include "oregami/mapper/mwm_contract.hpp"
+#include "oregami/mapper/nn_embed.hpp"
+#include "oregami/mapper/refine.hpp"
+#include "oregami/mapper/systolic.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+std::string to_string(MapStrategy strategy) {
+  switch (strategy) {
+    case MapStrategy::Canned:
+      return "canned";
+    case MapStrategy::GroupTheoretic:
+      return "group-theoretic";
+    case MapStrategy::Systolic:
+      return "systolic";
+    case MapStrategy::General:
+      return "general (MWM-Contract + NN-Embed)";
+  }
+  return "?";
+}
+
+Graph cluster_graph_of(const TaskGraph& graph,
+                       const Contraction& contraction) {
+  Graph g(contraction.num_clusters);
+  for (const auto& phase : graph.comm_phases()) {
+    for (const auto& e : phase.edges) {
+      const int cu =
+          contraction.cluster_of_task[static_cast<std::size_t>(e.src)];
+      const int cv =
+          contraction.cluster_of_task[static_cast<std::size_t>(e.dst)];
+      if (cu != cv && e.volume > 0) {
+        g.add_edge(cu, cv, e.volume);
+      }
+    }
+  }
+  return g;
+}
+
+Embedding embed_clusters(const TaskGraph& graph,
+                         const Contraction& contraction,
+                         const Topology& topo, std::string* how) {
+  const Graph cg = cluster_graph_of(graph, contraction);
+  const RecognizedFamily family = recognize_family(cg);
+  if (family.family != GraphFamily::Unknown) {
+    // A canned entry for the *cluster* graph: its contraction must be
+    // the identity (clusters are already processor-grained).
+    if (auto canned = canned_mapping(family, topo)) {
+      if (canned->contraction.num_clusters == cg.num_vertices()) {
+        if (how != nullptr) {
+          *how = "canned embedding of " + to_string(family.family) +
+                 " cluster graph: " + canned->description;
+        }
+        // canned->contraction is identity here (same cluster count);
+        // compose embeddings accordingly.
+        Embedding result;
+        result.proc_of_cluster.resize(
+            static_cast<std::size_t>(cg.num_vertices()));
+        for (int c = 0; c < cg.num_vertices(); ++c) {
+          const int cc =
+              canned->contraction.cluster_of_task[static_cast<std::size_t>(c)];
+          result.proc_of_cluster[static_cast<std::size_t>(c)] =
+              canned->embedding.proc_of_cluster[static_cast<std::size_t>(cc)];
+        }
+        result.validate(topo.num_procs());
+        return result;
+      }
+    }
+  }
+  if (how != nullptr) {
+    *how = "NN-Embed greedy placement";
+  }
+  return nn_embed(cg, topo);
+}
+
+namespace {
+
+MapperReport finish(MapStrategy strategy, std::string details,
+                    Contraction contraction, Embedding embedding,
+                    const TaskGraph& graph, const Topology& topo,
+                    const MapperOptions& options) {
+  MapperReport report;
+  report.strategy = strategy;
+  report.details = std::move(details);
+  report.mapping.contraction = std::move(contraction);
+  report.mapping.embedding = std::move(embedding);
+  report.mapping.routing = mm_route(
+      graph, report.mapping.proc_of_task(), topo, options.routing);
+  validate_mapping(report.mapping, graph, topo);
+  return report;
+}
+
+std::optional<MapperReport> try_canned(const TaskGraph& graph,
+                                       const Topology& topo,
+                                       const MapperOptions& options,
+                                       const RecognizedFamily& family) {
+  if (family.family == GraphFamily::Unknown) {
+    return std::nullopt;
+  }
+  auto canned = canned_mapping(family, topo);
+  if (!canned) {
+    return std::nullopt;
+  }
+  return finish(MapStrategy::Canned,
+                to_string(family.family) + " recognized; " +
+                    canned->description,
+                std::move(canned->contraction), std::move(canned->embedding),
+                graph, topo, options);
+}
+
+std::optional<MapperReport> try_group(const TaskGraph& graph,
+                                      const Topology& topo,
+                                      const MapperOptions& options) {
+  const int n = graph.num_tasks();
+  const int p = topo.num_procs();
+  if (n < p || n % p != 0) {
+    return std::nullopt;
+  }
+  auto outcome = group_theoretic_contraction(graph, p);
+  if (outcome.status != GroupContractStatus::Ok) {
+    return std::nullopt;
+  }
+  std::string how;
+  Embedding embedding =
+      embed_clusters(graph, outcome.result->contraction, topo, &how);
+  return finish(MapStrategy::GroupTheoretic,
+                outcome.result->description + "; " + how,
+                std::move(outcome.result->contraction), std::move(embedding),
+                graph, topo, options);
+}
+
+MapperReport do_general(const TaskGraph& graph, const Topology& topo,
+                        const MapperOptions& options) {
+  const Graph aggregate = graph.aggregate_graph();
+  MwmContractResult contract =
+      mwm_contract(aggregate, topo.num_procs(), options.load_bound_B);
+  std::string description = contract.description;
+  Contraction contraction = std::move(contract.contraction);
+  if (options.refine) {
+    RefineResult refined =
+        refine_contraction(aggregate, std::move(contraction),
+                           contract.load_bound);
+    description += "; KL refinement -" +
+                   std::to_string(refined.improvement()) + " IPC";
+    contraction = std::move(refined.contraction);
+  }
+  std::string how;
+  Embedding embedding = embed_clusters(graph, contraction, topo, &how);
+  return finish(MapStrategy::General, description + "; " + how,
+                std::move(contraction), std::move(embedding), graph, topo,
+                options);
+}
+
+}  // namespace
+
+MapperReport map_computation(const TaskGraph& graph, const Topology& topo,
+                             const MapperOptions& options) {
+  if (graph.num_tasks() == 0) {
+    throw MappingError("cannot map an empty task graph");
+  }
+  if (options.allow_canned) {
+    const RecognizedFamily family =
+        recognize_family(graph.aggregate_graph());
+    if (auto report = try_canned(graph, topo, options, family)) {
+      return *report;
+    }
+  }
+  if (options.allow_group) {
+    if (auto report = try_group(graph, topo, options)) {
+      return *report;
+    }
+  }
+  return do_general(graph, topo, options);
+}
+
+MapperReport map_program(const larcs::Program& program,
+                         const larcs::CompiledProgram& compiled,
+                         const Topology& topo,
+                         const MapperOptions& options) {
+  const TaskGraph& graph = compiled.graph;
+  if (graph.num_tasks() == 0) {
+    throw MappingError("cannot map an empty task graph");
+  }
+
+  // Systolic path: uniform recurrence onto an array-like target.
+  if (options.allow_systolic &&
+      (topo.family() == TopoFamily::Mesh ||
+       topo.family() == TopoFamily::Torus ||
+       topo.family() == TopoFamily::Chain ||
+       topo.family() == TopoFamily::Ring)) {
+    if (auto systolic = systolic_map(program, compiled)) {
+      if (systolic->contraction.num_clusters <= topo.num_procs()) {
+        std::string how;
+        Embedding embedding =
+            embed_clusters(graph, systolic->contraction, topo, &how);
+        MapperReport report;
+        report.strategy = MapStrategy::Systolic;
+        report.details = systolic->description + "; " + how;
+        report.mapping.contraction = std::move(systolic->contraction);
+        report.mapping.embedding = std::move(embedding);
+        report.mapping.routing = mm_route(
+            graph, report.mapping.proc_of_task(), topo, options.routing);
+        validate_mapping(report.mapping, graph, topo);
+        return report;
+      }
+    }
+  }
+
+  // Family hint from the LaRCS source.
+  if (options.allow_canned && compiled.family_hint) {
+    const GraphFamily hinted = family_from_hint(*compiled.family_hint);
+    if (hinted != GraphFamily::Unknown) {
+      const auto family =
+          detect_specific_family(graph.aggregate_graph(), hinted);
+      if (family) {
+        if (auto report = try_canned(graph, topo, options, *family)) {
+          report->details = "family hint '" + *compiled.family_hint +
+                            "'; " + report->details;
+          return *report;
+        }
+      }
+    }
+  }
+
+  return map_computation(graph, topo, options);
+}
+
+void validate_mapping(const Mapping& mapping, const TaskGraph& graph,
+                      const Topology& topo) {
+  mapping.contraction.validate(graph.num_tasks());
+  mapping.embedding.validate(topo.num_procs());
+  if (mapping.embedding.proc_of_cluster.size() !=
+      static_cast<std::size_t>(mapping.contraction.num_clusters)) {
+    throw MappingError("embedding does not cover every cluster");
+  }
+  const auto proc_of_task = mapping.proc_of_task();
+  if (mapping.routing.size() != graph.comm_phases().size()) {
+    throw MappingError("routing does not cover every comm phase");
+  }
+  for (std::size_t k = 0; k < mapping.routing.size(); ++k) {
+    const auto& phase = graph.comm_phases()[k];
+    const auto& routing = mapping.routing[k];
+    if (routing.route_of_edge.size() != phase.edges.size()) {
+      throw MappingError("phase '" + phase.name +
+                         "' routing does not cover every edge");
+    }
+    for (std::size_t i = 0; i < phase.edges.size(); ++i) {
+      const auto& e = phase.edges[i];
+      const int src = proc_of_task[static_cast<std::size_t>(e.src)];
+      const int dst = proc_of_task[static_cast<std::size_t>(e.dst)];
+      if (!is_valid_route(topo, routing.route_of_edge[i], src, dst)) {
+        throw MappingError("invalid route in phase '" + phase.name +
+                           "' for edge " + std::to_string(e.src) + " -> " +
+                           std::to_string(e.dst));
+      }
+    }
+  }
+}
+
+}  // namespace oregami

@@ -1,0 +1,83 @@
+// The MAPPER driver: strategy selection per the paper's Fig 3.
+//
+//   1. Nameable task graphs -> canned contraction/embedding lookup
+//      (LaRCS `family` hint first, structural recognition otherwise).
+//   2. Regular structure:
+//      a. uniform affine recurrences -> systolic synthesis (only via
+//         map_program, which has the LaRCS AST);
+//      b. node-symmetric / Cayley task graphs -> group-theoretic
+//         contraction.
+//   3. Arbitrary graphs -> MWM-Contract.
+// Embedding: canned when the *cluster* graph is itself nameable, else
+// NN-Embed. Routing: always MM-Route.
+#pragma once
+
+#include <string>
+
+#include "oregami/arch/topology.hpp"
+#include "oregami/core/mapping.hpp"
+#include "oregami/core/task_graph.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/mapper/mm_route.hpp"
+
+namespace oregami {
+
+enum class MapStrategy {
+  Canned,
+  GroupTheoretic,
+  Systolic,
+  General,  ///< MWM-Contract + NN-Embed
+};
+
+[[nodiscard]] std::string to_string(MapStrategy strategy);
+
+struct MapperOptions {
+  RouteOptions routing;
+  bool allow_canned = true;
+  bool allow_group = true;
+  bool allow_systolic = true;
+  int load_bound_B = -1;  ///< MWM-Contract bound; < 0 = default
+  /// Polish the general path's contraction with the KL/FM boundary
+  /// refinement pass (see refine.hpp).
+  bool refine = false;
+};
+
+struct MapperReport {
+  MapStrategy strategy = MapStrategy::General;
+  std::string details;  ///< human-readable algorithm description
+  Mapping mapping;
+};
+
+/// Maps a task graph (no LaRCS context) to `topo`. Tries canned, then
+/// group-theoretic, then the general path.
+[[nodiscard]] MapperReport map_computation(
+    const TaskGraph& graph, const Topology& topo,
+    const MapperOptions& options = {});
+
+/// Maps a compiled LaRCS program: additionally honours the `family`
+/// hint and attempts systolic synthesis for uniform recurrences when
+/// the target is a mesh/chain-like array.
+[[nodiscard]] MapperReport map_program(
+    const larcs::Program& program, const larcs::CompiledProgram& compiled,
+    const Topology& topo, const MapperOptions& options = {});
+
+/// Embeds an arbitrary contraction: canned lookup when the cluster
+/// graph is nameable, NN-Embed otherwise. Exposed for reuse by tools.
+[[nodiscard]] Embedding embed_clusters(const TaskGraph& graph,
+                                       const Contraction& contraction,
+                                       const Topology& topo,
+                                       std::string* how = nullptr);
+
+/// Builds the weighted cluster graph induced by a contraction
+/// (inter-cluster aggregate communication).
+[[nodiscard]] Graph cluster_graph_of(const TaskGraph& graph,
+                                     const Contraction& contraction);
+
+/// Full-mapping consistency check: contraction covers the tasks,
+/// embedding is injective into `topo`, and every route is a valid walk
+/// from the source task's processor to the destination task's
+/// processor. Throws MappingError on the first violation.
+void validate_mapping(const Mapping& mapping, const TaskGraph& graph,
+                      const Topology& topo);
+
+}  // namespace oregami

@@ -1,0 +1,62 @@
+// Dynamically spawned tasks with predictable patterns (paper §6):
+// "parallel divide and conquer algorithms dynamically spawn tasks ...
+// however, it is known a priori that the spawning pattern will produce
+// a full binary tree. We plan to ... design task assignment and routing
+// algorithms to accommodate dynamically growing parallel computations."
+//
+// This module implements that plan for the two predictable patterns the
+// paper names. A SpawnPlan fixes, up front, the processor of every task
+// the computation can ever spawn, such that
+//   * the placement of already-running tasks never changes as the
+//     computation grows (no migration on spawn), and
+//   * at every growth stage the live tasks are balanced across
+//     processors (within one task) and parent-child edges keep the
+//     canned embedding's dilation guarantees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oregami/arch/topology.hpp"
+#include "oregami/core/recognize.hpp"
+
+namespace oregami {
+
+struct SpawnPlan {
+  GraphFamily family = GraphFamily::Unknown;
+  int max_stage = 0;  ///< tree order k (binomial) or height h (CBT)
+
+  /// Processor of every node of the *full* tree (binomial: bitmask
+  /// addressing; CBT: heap indices).
+  std::vector<int> proc_of_node;
+
+  /// Growth stage at which each node spawns (root = stage 0; a node is
+  /// live at stage s iff spawn_stage_of_node[it] <= s).
+  std::vector<int> spawn_stage_of_node;
+
+  std::string description;
+
+  /// Live nodes at stage s, ascending.
+  [[nodiscard]] std::vector<int> live_nodes(int stage) const;
+
+  /// Max minus min live-task count over processors at stage s (0 or 1
+  /// once the tree is at least as large as the machine).
+  [[nodiscard]] int stage_imbalance(int stage, int num_procs) const;
+};
+
+/// Plan for a divide-and-conquer computation growing the binomial tree
+/// B_0 -> B_1 -> ... -> B_k. Node m spawns at stage
+/// (index of m's highest set bit) + 1. Placement: the canned
+/// binomial-tree entry (hypercube address map or mesh recursive
+/// bisection), which is prefix-stable by construction. Throws
+/// MappingError when the topology is neither hypercube nor a mesh large
+/// enough.
+[[nodiscard]] SpawnPlan plan_binomial_spawn(int k, const Topology& topo);
+
+/// Plan for a computation growing a complete binary tree level by
+/// level (node v spawns at its depth). Placement: inorder map on
+/// hypercubes, H-tree on meshes.
+[[nodiscard]] SpawnPlan plan_cbt_spawn(int h, const Topology& topo);
+
+}  // namespace oregami

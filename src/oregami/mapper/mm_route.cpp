@@ -1,0 +1,138 @@
+#include "oregami/mapper/mm_route.hpp"
+
+#include <algorithm>
+
+#include "oregami/arch/routes.hpp"
+#include "oregami/graph/matching.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+namespace {
+
+/// Routes one phase; fills `routing.route_of_edge` and appends match
+/// rounds to `trace_rounds` when tracing.
+PhaseRouting route_phase(const CommPhase& phase,
+                         const std::vector<int>& proc_of_task,
+                         const Topology& topo,
+                         const RouteOptions& options,
+                         std::vector<MatchRound>* trace_rounds) {
+  const int num_edges = static_cast<int>(phase.edges.size());
+  PhaseRouting routing;
+  routing.route_of_edge.resize(static_cast<std::size_t>(num_edges));
+
+  // In-flight state: current node per message; -1 once delivered.
+  std::vector<int> current(static_cast<std::size_t>(num_edges));
+  std::vector<int> target(static_cast<std::size_t>(num_edges));
+  for (int m = 0; m < num_edges; ++m) {
+    const auto& e = phase.edges[static_cast<std::size_t>(m)];
+    const int src = proc_of_task[static_cast<std::size_t>(e.src)];
+    const int dst = proc_of_task[static_cast<std::size_t>(e.dst)];
+    current[static_cast<std::size_t>(m)] = src;
+    target[static_cast<std::size_t>(m)] = dst;
+    routing.route_of_edge[static_cast<std::size_t>(m)].nodes = {src};
+  }
+
+  for (int hop = 0;; ++hop) {
+    std::vector<int> pending;
+    for (int m = 0; m < num_edges; ++m) {
+      if (current[static_cast<std::size_t>(m)] !=
+          target[static_cast<std::size_t>(m)]) {
+        pending.push_back(m);
+      }
+    }
+    if (pending.empty()) {
+      break;
+    }
+
+    // All pending messages advance exactly one hop this iteration, via
+    // repeated maximal matchings (each round uses a link at most once).
+    std::vector<bool> advanced(pending.size(), false);
+    std::size_t advanced_count = 0;
+    while (advanced_count < pending.size()) {
+      // X = not-yet-advanced pending messages, Y = links.
+      std::vector<int> x_of;  // bipartite left index -> message
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (!advanced[i]) {
+          x_of.push_back(pending[i]);
+        }
+      }
+      BipartiteGraph bg(static_cast<int>(x_of.size()), topo.num_links());
+      for (std::size_t x = 0; x < x_of.size(); ++x) {
+        const int m = x_of[x];
+        const int from = current[static_cast<std::size_t>(m)];
+        for (const int next :
+             next_hop_choices(topo, from, target[static_cast<std::size_t>(m)])) {
+          const auto link = topo.link_between(from, next);
+          OREGAMI_ASSERT(link.has_value(), "next hop must be adjacent");
+          bg.add_edge(static_cast<int>(x), *link);
+        }
+      }
+      const BipartiteMatching matching =
+          options.matcher == RouteOptions::Matcher::GreedyMaximal
+              ? greedy_maximal_matching(bg)
+              : hopcroft_karp(bg);
+      OREGAMI_ASSERT(matching.size() > 0,
+                     "matching must advance at least one message");
+
+      MatchRound round;
+      round.hop = hop;
+      for (std::size_t x = 0; x < x_of.size(); ++x) {
+        const int link = matching.match_left[x];
+        if (link == -1) {
+          continue;
+        }
+        const int m = x_of[x];
+        const int from = current[static_cast<std::size_t>(m)];
+        const auto [lu, lv] = topo.link_endpoints(link);
+        const int next = (lu == from) ? lv : lu;
+        OREGAMI_ASSERT(lu == from || lv == from,
+                       "matched link must touch the message's node");
+        current[static_cast<std::size_t>(m)] = next;
+        auto& route = routing.route_of_edge[static_cast<std::size_t>(m)];
+        route.nodes.push_back(next);
+        route.links.push_back(link);
+        // Mark advanced.
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          if (pending[i] == m) {
+            advanced[i] = true;
+            ++advanced_count;
+            break;
+          }
+        }
+        round.assignments.emplace_back(m, link);
+      }
+      if (trace_rounds != nullptr) {
+        trace_rounds->push_back(std::move(round));
+      }
+    }
+  }
+
+  return routing;
+}
+
+}  // namespace
+
+std::vector<PhaseRouting> mm_route(const TaskGraph& graph,
+                                   const std::vector<int>& proc_of_task,
+                                   const Topology& topo,
+                                   const RouteOptions& options,
+                                   std::vector<PhaseRouteTrace>* trace) {
+  OREGAMI_ASSERT(proc_of_task.size() ==
+                     static_cast<std::size_t>(graph.num_tasks()),
+                 "proc_of_task must cover every task");
+  std::vector<PhaseRouting> result;
+  result.reserve(graph.comm_phases().size());
+  for (const auto& phase : graph.comm_phases()) {
+    std::vector<MatchRound>* rounds = nullptr;
+    if (trace != nullptr) {
+      trace->push_back({phase.name, {}});
+      rounds = &trace->back().rounds;
+    }
+    result.push_back(
+        route_phase(phase, proc_of_task, topo, options, rounds));
+  }
+  return result;
+}
+
+}  // namespace oregami

@@ -1,0 +1,56 @@
+// Algorithm MM-Route (paper §4.4): phase-aware routing by repeated
+// maximal matchings.
+//
+// For each communication phase (synchronous edge set) the router works
+// hop by hop. At each hop it builds a bipartite graph G = (X, Y, E):
+// X = messages still in flight, Y = network links, with an edge when a
+// link can serve as the message's next hop on some shortest route. A
+// maximal matching assigns distinct links to as many messages as
+// possible; matched messages advance, the graph is rebuilt without
+// them, and matching repeats until every message has advanced one hop.
+// Messages that reach their destination drop out. Because each matching
+// round uses a link at most once, link contention within a phase stays
+// low.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "oregami/arch/topology.hpp"
+#include "oregami/core/mapping.hpp"
+#include "oregami/core/task_graph.hpp"
+
+namespace oregami {
+
+struct RouteOptions {
+  enum class Matcher {
+    GreedyMaximal,  ///< the paper's maximal matching
+    HopcroftKarp,   ///< maximum matching (ablation alternative)
+  };
+  Matcher matcher = Matcher::GreedyMaximal;
+};
+
+/// One matching round in the trace: which message edge was assigned
+/// which link (message identified by its index in the phase's edge
+/// list).
+struct MatchRound {
+  int hop = 0;
+  std::vector<std::pair<int, int>> assignments;  ///< (edge index, link)
+};
+
+/// Routing trace for one phase (for display and the Fig 6 bench).
+struct PhaseRouteTrace {
+  std::string phase_name;
+  std::vector<MatchRound> rounds;
+};
+
+/// Routes every comm phase of `graph` for tasks placed by
+/// `proc_of_task`. Returns one PhaseRouting per phase (routes aligned
+/// with the phase's edge list); all routes are shortest paths.
+/// `trace`, when non-null, receives the matching rounds.
+[[nodiscard]] std::vector<PhaseRouting> mm_route(
+    const TaskGraph& graph, const std::vector<int>& proc_of_task,
+    const Topology& topo, const RouteOptions& options = {},
+    std::vector<PhaseRouteTrace>* trace = nullptr);
+
+}  // namespace oregami

@@ -1,0 +1,134 @@
+#include "oregami/mapper/nn_embed.hpp"
+
+#include <algorithm>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+std::int64_t weighted_dilation(const Graph& cluster_graph,
+                               const Embedding& embedding,
+                               const Topology& topo) {
+  std::int64_t total = 0;
+  for (const auto& e : cluster_graph.edges()) {
+    const int pu = embedding.proc_of_cluster[static_cast<std::size_t>(e.u)];
+    const int pv = embedding.proc_of_cluster[static_cast<std::size_t>(e.v)];
+    total += e.weight * topo.distance(pu, pv);
+  }
+  return total;
+}
+
+Embedding nn_embed(const Graph& cluster_graph, const Topology& topo) {
+  const int c = cluster_graph.num_vertices();
+  const int p = topo.num_procs();
+  if (c > p) {
+    throw MappingError("nn_embed: more clusters than processors");
+  }
+
+  Embedding embedding;
+  embedding.proc_of_cluster.assign(static_cast<std::size_t>(c), -1);
+  if (c == 0) {
+    return embedding;
+  }
+  std::vector<bool> proc_used(static_cast<std::size_t>(p), false);
+  std::vector<bool> placed(static_cast<std::size_t>(c), false);
+  int placed_count = 0;
+
+  auto place = [&](int cluster, int proc) {
+    embedding.proc_of_cluster[static_cast<std::size_t>(cluster)] = proc;
+    proc_used[static_cast<std::size_t>(proc)] = true;
+    placed[static_cast<std::size_t>(cluster)] = true;
+    ++placed_count;
+  };
+
+  // Seed: heaviest cluster edge onto a max-degree link.
+  {
+    int best_edge = -1;
+    for (int e = 0; e < cluster_graph.num_edges(); ++e) {
+      if (best_edge == -1 ||
+          cluster_graph.edges()[static_cast<std::size_t>(e)].weight >
+              cluster_graph.edges()[static_cast<std::size_t>(best_edge)]
+                  .weight) {
+        best_edge = e;
+      }
+    }
+    int seed_u = 0;
+    for (int v = 1; v < p; ++v) {
+      if (topo.graph().degree(v) > topo.graph().degree(seed_u)) {
+        seed_u = v;
+      }
+    }
+    if (best_edge == -1) {
+      // No communication at all: fill processors in index order.
+      for (int cl = 0; cl < c; ++cl) {
+        place(cl, cl);
+      }
+      return embedding;
+    }
+    int seed_v = -1;
+    for (const auto& a : topo.graph().neighbors(seed_u)) {
+      if (seed_v == -1 ||
+          topo.graph().degree(a.neighbor) > topo.graph().degree(seed_v)) {
+        seed_v = a.neighbor;
+      }
+    }
+    OREGAMI_ASSERT(seed_v != -1, "topology must have at least one link");
+    const auto& e =
+        cluster_graph.edges()[static_cast<std::size_t>(best_edge)];
+    place(e.u, seed_u);
+    place(e.v, seed_v);
+  }
+
+  while (placed_count < c) {
+    // Next cluster: max communication to placed set; tie -> lowest id.
+    int next = -1;
+    std::int64_t next_weight = -1;
+    for (int cl = 0; cl < c; ++cl) {
+      if (placed[static_cast<std::size_t>(cl)]) {
+        continue;
+      }
+      std::int64_t w = 0;
+      for (const auto& a : cluster_graph.neighbors(cl)) {
+        if (placed[static_cast<std::size_t>(a.neighbor)]) {
+          w += a.weight;
+        }
+      }
+      if (w > next_weight) {
+        next = cl;
+        next_weight = w;
+      }
+    }
+    OREGAMI_ASSERT(next != -1, "an unplaced cluster must exist");
+
+    // Best free processor: minimise weighted distance to placed
+    // neighbours; tie -> lowest processor id. Clusters with no placed
+    // neighbours land on the free processor closest to the seed area
+    // (distance sum of zero everywhere, so lowest id wins).
+    int best_proc = -1;
+    std::int64_t best_cost = 0;
+    for (int proc = 0; proc < p; ++proc) {
+      if (proc_used[static_cast<std::size_t>(proc)]) {
+        continue;
+      }
+      std::int64_t cost = 0;
+      for (const auto& a : cluster_graph.neighbors(next)) {
+        if (placed[static_cast<std::size_t>(a.neighbor)]) {
+          const int other =
+              embedding
+                  .proc_of_cluster[static_cast<std::size_t>(a.neighbor)];
+          cost += a.weight * topo.distance(proc, other);
+        }
+      }
+      if (best_proc == -1 || cost < best_cost) {
+        best_proc = proc;
+        best_cost = cost;
+      }
+    }
+    place(next, best_proc);
+  }
+
+  embedding.validate(p);
+  return embedding;
+}
+
+}  // namespace oregami

@@ -1,0 +1,31 @@
+// Algorithm NN-Embed (paper §4.3): greedy embedding that places highly
+// communicating clusters on adjacent (or near) processors.
+//
+// Seed: the heaviest cluster edge goes on a link whose endpoints have
+// maximal degree. Growth: repeatedly take the unplaced cluster with the
+// largest total communication to already-placed clusters and put it on
+// the free processor minimising the weighted sum of hop distances to
+// its placed neighbours. Deterministic tie-breaking throughout
+// (lowest id).
+#pragma once
+
+#include "oregami/arch/topology.hpp"
+#include "oregami/core/mapping.hpp"
+#include "oregami/graph/graph.hpp"
+
+namespace oregami {
+
+/// Embeds `cluster_graph` (one vertex per cluster, weights = inter-
+/// cluster communication) into `topo`. Requires
+/// cluster_graph.num_vertices() <= topo.num_procs(); throws
+/// MappingError otherwise.
+[[nodiscard]] Embedding nn_embed(const Graph& cluster_graph,
+                                 const Topology& topo);
+
+/// The weighted-dilation objective NN-Embed greedily optimises:
+/// sum over cluster edges of weight * hop-distance of their processors.
+[[nodiscard]] std::int64_t weighted_dilation(const Graph& cluster_graph,
+                                             const Embedding& embedding,
+                                             const Topology& topo);
+
+}  // namespace oregami

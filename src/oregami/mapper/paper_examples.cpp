@@ -1,0 +1,35 @@
+#include "oregami/mapper/paper_examples.hpp"
+
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/programs.hpp"
+
+namespace oregami::paper {
+
+Graph fig5_task_graph() {
+  Graph g(12);
+  // Heavy pair edges, merged by the greedy phase in this order.
+  g.add_edge(0, 1, 20);
+  g.add_edge(2, 3, 18);
+  g.add_edge(4, 5, 16);
+  g.add_edge(6, 7, 14);
+  g.add_edge(8, 9, 12);
+  g.add_edge(10, 11, 10);
+  // Cross edges closing the pair ring. The weight-15 edge is examined
+  // after the 20/18/16 merges and must be skipped: clusters {0,1} and
+  // {2,3} would form a 4-task cluster > B/2 = 2.
+  g.add_edge(1, 2, 15);
+  g.add_edge(3, 4, 2);
+  g.add_edge(5, 6, 3);
+  g.add_edge(7, 8, 2);
+  g.add_edge(9, 10, 3);
+  g.add_edge(11, 0, 2);
+  return g;
+}
+
+TaskGraph fig6_nbody15() {
+  return larcs::compile_source(larcs::programs::nbody(),
+                               {{"n", 15}, {"s", 1}, {"m", 1}})
+      .graph;
+}
+
+}  // namespace oregami::paper

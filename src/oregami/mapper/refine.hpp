@@ -1,0 +1,40 @@
+// Boundary refinement of a contraction (Kernighan-Lin / Fiduccia-
+// Mattheyses style greedy moves and swaps). The paper's §6 commits to
+// "continue to augment the MAPPER library with new and improved
+// algorithms for contraction"; this pass polishes any contraction
+// (MWM-Contract output, canned tilings, ...) by hill-climbing on the
+// total external communication weight while respecting the load bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "oregami/core/mapping.hpp"
+#include "oregami/graph/graph.hpp"
+
+namespace oregami {
+
+struct RefineResult {
+  Contraction contraction;
+  std::int64_t external_before = 0;
+  std::int64_t external_after = 0;
+  int moves = 0;
+  int swaps = 0;
+  int passes = 0;
+
+  [[nodiscard]] std::int64_t improvement() const {
+    return external_before - external_after;
+  }
+};
+
+/// Greedy refinement: repeatedly applies the single task move (to a
+/// cluster with room) or pairwise task swap with the largest positive
+/// reduction in external weight, until a pass finds nothing. Clusters
+/// never exceed `load_bound_B` and never empty (the contraction keeps
+/// its cluster count). `max_passes` bounds the outer loop.
+[[nodiscard]] RefineResult refine_contraction(const Graph& task_graph,
+                                              Contraction contraction,
+                                              int load_bound_B,
+                                              int max_passes = 8);
+
+}  // namespace oregami

@@ -1,0 +1,112 @@
+#include "oregami/metrics/completion_model.hpp"
+
+#include <algorithm>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+std::int64_t comm_phase_time(const TaskGraph& graph, int phase_index,
+                             const PhaseRouting& routing,
+                             const Topology& topo, const CostModel& model) {
+  const auto& phase =
+      graph.comm_phases()[static_cast<std::size_t>(phase_index)];
+  OREGAMI_ASSERT(routing.route_of_edge.size() == phase.edges.size(),
+                 "routing must cover the phase");
+  std::vector<std::int64_t> volume_on_link(
+      static_cast<std::size_t>(topo.num_links()), 0);
+  int max_hops = 0;
+  for (std::size_t i = 0; i < phase.edges.size(); ++i) {
+    const auto& route = routing.route_of_edge[i];
+    for (const int link : route.links) {
+      volume_on_link[static_cast<std::size_t>(link)] +=
+          phase.edges[i].volume;
+    }
+    max_hops = std::max(max_hops, route.hops());
+  }
+  const std::int64_t max_volume =
+      volume_on_link.empty()
+          ? 0
+          : *std::max_element(volume_on_link.begin(), volume_on_link.end());
+  return max_volume * model.per_unit_cost +
+         static_cast<std::int64_t>(max_hops) * model.hop_latency;
+}
+
+std::int64_t exec_phase_time(const TaskGraph& graph, int phase_index,
+                             const std::vector<int>& proc_of_task,
+                             int num_procs) {
+  const auto& phase =
+      graph.exec_phases()[static_cast<std::size_t>(phase_index)];
+  std::vector<std::int64_t> load(static_cast<std::size_t>(num_procs), 0);
+  for (int t = 0; t < graph.num_tasks(); ++t) {
+    load[static_cast<std::size_t>(proc_of_task[static_cast<std::size_t>(t)])] +=
+        phase.cost[static_cast<std::size_t>(t)];
+  }
+  return load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+}
+
+namespace {
+
+std::int64_t walk(const PhaseTree& node, const TaskGraph& graph,
+                  const std::vector<int>& proc_of_task,
+                  const std::vector<PhaseRouting>& routing,
+                  const Topology& topo, const CostModel& model) {
+  switch (node.kind) {
+    case PhaseTree::Kind::Idle:
+      return 0;
+    case PhaseTree::Kind::Comm:
+      return comm_phase_time(
+          graph, node.phase_index,
+          routing[static_cast<std::size_t>(node.phase_index)], topo, model);
+    case PhaseTree::Kind::Exec:
+      return exec_phase_time(graph, node.phase_index, proc_of_task,
+                             topo.num_procs());
+    case PhaseTree::Kind::Seq: {
+      std::int64_t total = 0;
+      for (const auto& child : node.children) {
+        total += walk(child, graph, proc_of_task, routing, topo, model);
+      }
+      return total;
+    }
+    case PhaseTree::Kind::Par: {
+      std::int64_t best = 0;
+      for (const auto& child : node.children) {
+        best = std::max(best,
+                        walk(child, graph, proc_of_task, routing, topo,
+                             model));
+      }
+      return best;
+    }
+    case PhaseTree::Kind::Repeat:
+      return node.count * walk(node.children.front(), graph, proc_of_task,
+                               routing, topo, model);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t completion_time(const TaskGraph& graph,
+                             const std::vector<int>& proc_of_task,
+                             const std::vector<PhaseRouting>& routing,
+                             const Topology& topo, const CostModel& model) {
+  OREGAMI_ASSERT(routing.size() == graph.comm_phases().size(),
+                 "routing must cover every phase");
+  if (graph.phase_expr().kind == PhaseTree::Kind::Idle) {
+    // Static fallback: every phase once, sequentially.
+    std::int64_t total = 0;
+    for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+      total += comm_phase_time(graph, static_cast<int>(k), routing[k],
+                               topo, model);
+    }
+    for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
+      total += exec_phase_time(graph, static_cast<int>(k), proc_of_task,
+                               topo.num_procs());
+    }
+    return total;
+  }
+  return walk(graph.phase_expr(), graph, proc_of_task, routing, topo,
+              model);
+}
+
+}  // namespace oregami

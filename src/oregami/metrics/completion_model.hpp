@@ -1,0 +1,50 @@
+// The analytic communication/computation cost model behind METRICS'
+// "completion time of the computation" (paper §5).
+//
+// OREGAMI never executes the program; like the original METRICS tool it
+// scores a mapping with a model:
+//   * an execution phase costs the maximum, over processors, of the
+//     summed task costs assigned there (processors run in parallel);
+//   * a communication phase is synchronous: its cost is the maximum
+//     volume serialised through any one link (contention x volume x
+//     per-unit cost) plus the longest route's hop latency;
+//   * the phase expression composes phases: sequence adds, parallel
+//     takes the maximum, repetition multiplies.
+#pragma once
+
+#include <cstdint>
+
+#include "oregami/arch/topology.hpp"
+#include "oregami/core/mapping.hpp"
+#include "oregami/core/task_graph.hpp"
+
+namespace oregami {
+
+struct CostModel {
+  std::int64_t hop_latency = 1;    ///< per-hop switching cost
+  std::int64_t per_unit_cost = 1;  ///< per volume unit per link
+};
+
+/// Cost of comm phase `phase_index` under `routing` (that phase's
+/// routes): max over links of serialised volume + latency of the
+/// longest route.
+[[nodiscard]] std::int64_t comm_phase_time(const TaskGraph& graph,
+                                           int phase_index,
+                                           const PhaseRouting& routing,
+                                           const Topology& topo,
+                                           const CostModel& model);
+
+/// Cost of exec phase `phase_index`: max over processors of assigned
+/// task cost.
+[[nodiscard]] std::int64_t exec_phase_time(
+    const TaskGraph& graph, int phase_index,
+    const std::vector<int>& proc_of_task, int num_procs);
+
+/// Walks the phase expression. When the graph has no phase expression
+/// (Idle), falls back to the sum of every phase executed once.
+[[nodiscard]] std::int64_t completion_time(
+    const TaskGraph& graph, const std::vector<int>& proc_of_task,
+    const std::vector<PhaseRouting>& routing, const Topology& topo,
+    const CostModel& model = {});
+
+}  // namespace oregami

@@ -1,0 +1,161 @@
+#include "oregami/schedule/synchrony.hpp"
+
+#include <algorithm>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+ScheduleResult derive_synchrony_sets(const TaskGraph& graph,
+                                     const std::vector<int>& proc_of_task,
+                                     int num_procs) {
+  OREGAMI_ASSERT(proc_of_task.size() ==
+                     static_cast<std::size_t>(graph.num_tasks()),
+                 "placement must cover every task");
+  ScheduleResult result;
+  result.local_order.resize(static_cast<std::size_t>(num_procs));
+  for (int t = 0; t < graph.num_tasks(); ++t) {
+    result.local_order[static_cast<std::size_t>(
+                           proc_of_task[static_cast<std::size_t>(t)])]
+        .push_back(t);
+  }
+  std::size_t depth = 0;
+  for (auto& order : result.local_order) {
+    std::sort(order.begin(), order.end());
+    depth = std::max(depth, order.size());
+  }
+  result.set_of_task.assign(static_cast<std::size_t>(graph.num_tasks()),
+                            -1);
+  for (std::size_t k = 0; k < depth; ++k) {
+    SynchronySet set;
+    set.index = static_cast<int>(k);
+    for (const auto& order : result.local_order) {
+      if (k < order.size()) {
+        set.tasks.push_back(order[k]);
+        result.set_of_task[static_cast<std::size_t>(order[k])] =
+            static_cast<int>(k);
+      }
+    }
+    std::sort(set.tasks.begin(), set.tasks.end());
+    result.sets.push_back(std::move(set));
+  }
+  return result;
+}
+
+namespace {
+
+std::string local_tasks_string(const TaskGraph& graph,
+                               const std::vector<int>& order) {
+  if (order.empty()) {
+    return "idle";
+  }
+  std::string out = "(";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i != 0) {
+      out += "; ";
+    }
+    out += graph.task_name(order[i]);
+  }
+  return out + ")";
+}
+
+std::string render(const PhaseTree& node, const TaskGraph& graph,
+                   const std::string& local_exec) {
+  switch (node.kind) {
+    case PhaseTree::Kind::Idle:
+      return "eps";
+    case PhaseTree::Kind::Comm:
+      return graph.comm_phases()[static_cast<std::size_t>(node.phase_index)]
+          .name;
+    case PhaseTree::Kind::Exec:
+      return local_exec;
+    case PhaseTree::Kind::Seq: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i != 0) {
+          out += "; ";
+        }
+        out += render(node.children[i], graph, local_exec);
+      }
+      return out + ")";
+    }
+    case PhaseTree::Kind::Par: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i != 0) {
+          out += " || ";
+        }
+        out += render(node.children[i], graph, local_exec);
+      }
+      return out + ")";
+    }
+    case PhaseTree::Kind::Repeat:
+      return render(node.children.front(), graph, local_exec) + "^" +
+             std::to_string(node.count);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string local_directive(const TaskGraph& graph,
+                            const ScheduleResult& schedule, int processor) {
+  OREGAMI_ASSERT(
+      processor >= 0 &&
+          static_cast<std::size_t>(processor) < schedule.local_order.size(),
+      "processor out of range");
+  const std::string local_exec = local_tasks_string(
+      graph, schedule.local_order[static_cast<std::size_t>(processor)]);
+  if (graph.phase_expr().kind == PhaseTree::Kind::Idle) {
+    return local_exec;
+  }
+  return render(graph.phase_expr(), graph, local_exec);
+}
+
+std::vector<PhaseRouting> synchrony_route(
+    const TaskGraph& graph, const std::vector<int>& proc_of_task,
+    const Topology& topo, const ScheduleResult& schedule,
+    const RouteOptions& options) {
+  // Present each phase's edges in synchrony order by building a
+  // reordered shadow graph, routing it, and mapping routes back.
+  TaskGraph shadow;
+  for (int t = 0; t < graph.num_tasks(); ++t) {
+    shadow.add_task(graph.task_name(t));
+  }
+  std::vector<std::vector<std::size_t>> original_index_of;
+  for (const auto& phase : graph.comm_phases()) {
+    const int p = shadow.add_comm_phase(phase.name);
+    std::vector<std::size_t> order(phase.edges.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const int sa = schedule.set_of_task[
+                           static_cast<std::size_t>(phase.edges[a].src)];
+                       const int sb = schedule.set_of_task[
+                           static_cast<std::size_t>(phase.edges[b].src)];
+                       return sa < sb;
+                     });
+    for (const std::size_t i : order) {
+      const auto& e = phase.edges[i];
+      shadow.add_comm_edge(p, e.src, e.dst, e.volume);
+    }
+    original_index_of.push_back(std::move(order));
+  }
+
+  const auto shadow_routing = mm_route(shadow, proc_of_task, topo, options);
+
+  std::vector<PhaseRouting> result(graph.comm_phases().size());
+  for (std::size_t k = 0; k < result.size(); ++k) {
+    result[k].route_of_edge.resize(
+        graph.comm_phases()[k].edges.size());
+    for (std::size_t pos = 0; pos < original_index_of[k].size(); ++pos) {
+      result[k].route_of_edge[original_index_of[k][pos]] =
+          shadow_routing[k].route_of_edge[pos];
+    }
+  }
+  return result;
+}
+
+}  // namespace oregami

@@ -1,0 +1,189 @@
+#include "oregami/sim/network_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+PhaseSimResult simulate_comm_phase(const TaskGraph& graph, int phase_index,
+                                   const PhaseRouting& routing,
+                                   const Topology& topo,
+                                   const SimConfig& config) {
+  const auto& phase =
+      graph.comm_phases()[static_cast<std::size_t>(phase_index)];
+  OREGAMI_ASSERT(routing.route_of_edge.size() == phase.edges.size(),
+                 "routing must cover the phase");
+  PhaseSimResult result;
+  result.link_busy.assign(static_cast<std::size_t>(topo.num_links()), 0);
+  result.delivery.assign(phase.edges.size(), 0);
+
+  // Event queue of messages ready to start their next hop:
+  // (ready time, message id). Smallest time first, id breaks ties so
+  // the simulation is deterministic.
+  using Event = std::pair<std::int64_t, int>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> ready;
+  std::vector<std::size_t> next_hop(phase.edges.size(), 0);
+  std::vector<std::int64_t> link_free(
+      static_cast<std::size_t>(topo.num_links()), 0);
+
+  for (int m = 0; m < static_cast<int>(phase.edges.size()); ++m) {
+    if (routing.route_of_edge[static_cast<std::size_t>(m)].links.empty()) {
+      result.delivery[static_cast<std::size_t>(m)] = 0;  // co-located
+    } else {
+      ready.emplace(0, m);
+    }
+  }
+
+  while (!ready.empty()) {
+    const auto [time, m] = ready.top();
+    ready.pop();
+    const auto& route = routing.route_of_edge[static_cast<std::size_t>(m)];
+    const int link = route.links[next_hop[static_cast<std::size_t>(m)]];
+    const std::int64_t volume =
+        phase.edges[static_cast<std::size_t>(m)].volume;
+    const std::int64_t transfer =
+        volume * config.cycles_per_unit + config.hop_latency;
+    const std::int64_t start =
+        std::max(time, link_free[static_cast<std::size_t>(link)]);
+    const std::int64_t finish = start + transfer;
+    link_free[static_cast<std::size_t>(link)] = finish;
+    result.link_busy[static_cast<std::size_t>(link)] += transfer;
+    ++next_hop[static_cast<std::size_t>(m)];
+    if (next_hop[static_cast<std::size_t>(m)] == route.links.size()) {
+      result.delivery[static_cast<std::size_t>(m)] = finish;
+      result.makespan = std::max(result.makespan, finish);
+    } else {
+      ready.emplace(finish, m);
+    }
+  }
+
+  int used = 0;
+  std::int64_t busy_total = 0;
+  for (const auto busy : result.link_busy) {
+    if (busy > 0) {
+      ++used;
+      busy_total += busy;
+      result.max_link_busy = std::max(result.max_link_busy, busy);
+    }
+  }
+  result.avg_link_utilisation =
+      (used == 0 || result.makespan == 0)
+          ? 0.0
+          : static_cast<double>(busy_total) /
+                (static_cast<double>(used) *
+                 static_cast<double>(result.makespan));
+  return result;
+}
+
+namespace {
+
+std::int64_t exec_cycles(const TaskGraph& graph, int phase_index,
+                         const std::vector<int>& proc_of_task,
+                         int num_procs) {
+  const auto& phase =
+      graph.exec_phases()[static_cast<std::size_t>(phase_index)];
+  std::vector<std::int64_t> load(static_cast<std::size_t>(num_procs), 0);
+  for (int t = 0; t < graph.num_tasks(); ++t) {
+    load[static_cast<std::size_t>(
+        proc_of_task[static_cast<std::size_t>(t)])] +=
+        phase.cost[static_cast<std::size_t>(t)];
+  }
+  return load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+}
+
+struct Walker {
+  const TaskGraph& graph;
+  const std::vector<int>& proc_of_task;
+  const std::vector<PhaseRouting>& routing;
+  const Topology& topo;
+  const SimConfig& config;
+  // Memoised single-pass phase costs.
+  std::vector<std::int64_t> comm_cost;
+  std::vector<std::int64_t> exec_cost;
+
+  std::int64_t comm(int k) {
+    auto& cached = comm_cost[static_cast<std::size_t>(k)];
+    if (cached < 0) {
+      cached = simulate_comm_phase(graph, k,
+                                   routing[static_cast<std::size_t>(k)],
+                                   topo, config)
+                   .makespan;
+    }
+    return cached;
+  }
+
+  std::int64_t exec(int k) {
+    auto& cached = exec_cost[static_cast<std::size_t>(k)];
+    if (cached < 0) {
+      cached = exec_cycles(graph, k, proc_of_task, topo.num_procs());
+    }
+    return cached;
+  }
+
+  std::int64_t walk(const PhaseTree& node) {
+    switch (node.kind) {
+      case PhaseTree::Kind::Idle:
+        return 0;
+      case PhaseTree::Kind::Comm:
+        return comm(node.phase_index);
+      case PhaseTree::Kind::Exec:
+        return exec(node.phase_index);
+      case PhaseTree::Kind::Seq: {
+        std::int64_t total = 0;
+        for (const auto& child : node.children) {
+          total += walk(child);
+        }
+        return total;
+      }
+      case PhaseTree::Kind::Par: {
+        std::int64_t best = 0;
+        for (const auto& child : node.children) {
+          best = std::max(best, walk(child));
+        }
+        return best;
+      }
+      case PhaseTree::Kind::Repeat:
+        return node.count * walk(node.children.front());
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+SimResult simulate(const TaskGraph& graph,
+                   const std::vector<int>& proc_of_task,
+                   const std::vector<PhaseRouting>& routing,
+                   const Topology& topo, const SimConfig& config) {
+  OREGAMI_ASSERT(routing.size() == graph.comm_phases().size(),
+                 "routing must cover every phase");
+  Walker walker{graph,
+                proc_of_task,
+                routing,
+                topo,
+                config,
+                std::vector<std::int64_t>(graph.comm_phases().size(), -1),
+                std::vector<std::int64_t>(graph.exec_phases().size(), -1)};
+  SimResult result;
+  if (graph.phase_expr().kind == PhaseTree::Kind::Idle) {
+    for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+      result.total_cycles += walker.comm(static_cast<int>(k));
+    }
+    for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
+      result.total_cycles += walker.exec(static_cast<int>(k));
+    }
+  } else {
+    result.total_cycles = walker.walk(graph.phase_expr());
+  }
+  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+    result.comm_phase_cycles.push_back(walker.comm(static_cast<int>(k)));
+  }
+  for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
+    result.exec_phase_cycles.push_back(walker.exec(static_cast<int>(k)));
+  }
+  return result;
+}
+
+}  // namespace oregami

@@ -1,0 +1,30 @@
+#include "oregami/support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oregami {
+
+std::string SourceLoc::to_string() const {
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+LarcsError::LarcsError(std::string message, SourceLoc loc)
+    : std::runtime_error("LaRCS error at " + loc.to_string() + ": " +
+                         message),
+      loc_(loc) {}
+
+LarcsError::LarcsError(std::string message)
+    : std::runtime_error("LaRCS error: " + std::move(message)) {}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::fprintf(stderr, "OREGAMI internal invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, message.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace oregami

@@ -1,0 +1,65 @@
+// Error handling primitives shared across the OREGAMI library.
+//
+// OREGAMI distinguishes three failure kinds:
+//   * `LarcsError`   -- malformed LaRCS source (lexer/parser/compiler),
+//                       carries a source location.
+//   * `MappingError` -- a mapping algorithm was invoked on inputs that
+//                       violate its documented preconditions (e.g. more
+//                       clusters than processors).
+//   * logic bugs     -- internal invariant violations, checked with
+//                       OREGAMI_ASSERT and fatal in all build types.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace oregami {
+
+/// A position in a LaRCS source text (1-based line/column).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  /// Renders as "line:column" for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Raised for malformed LaRCS programs; `loc()` points at the offending
+/// token when known.
+class LarcsError : public std::runtime_error {
+ public:
+  LarcsError(std::string message, SourceLoc loc);
+  explicit LarcsError(std::string message);
+
+  [[nodiscard]] const SourceLoc& loc() const noexcept { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Raised when a MAPPER/METRICS operation is given inputs that violate
+/// its preconditions (not a bug in OREGAMI, a misuse by the caller).
+class MappingError : public std::runtime_error {
+ public:
+  explicit MappingError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+/// Internal invariant check; active in every build type because mapping
+/// results feed downstream decisions and silent corruption is worse than
+/// an abort.
+#define OREGAMI_ASSERT(expr, message)                                    \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::oregami::detail::assert_fail(#expr, __FILE__, __LINE__,          \
+                                     (message));                         \
+    }                                                                    \
+  } while (false)
+
+}  // namespace oregami

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generation for tests and benches.
+//
+// OREGAMI's mapping algorithms are fully deterministic; randomness is
+// only used to synthesise workloads (random task graphs, random
+// baselines). SplitMix64 is used because it is tiny, fast, and has a
+// stable, documented output stream -- results quoted in EXPERIMENTS.md
+// are reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace oregami {
+
+/// SplitMix64 generator (public-domain constants, Steele et al. 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 raw bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) via Lemire rejection-free reduction;
+  /// `bound` must be positive.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace oregami

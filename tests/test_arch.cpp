@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "oregami/arch/topology.hpp"
+#include "oregami/graph/gray_code.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+namespace {
+
+TEST(Topology, RingShape) {
+  const auto t = Topology::ring(8);
+  EXPECT_EQ(t.num_procs(), 8);
+  EXPECT_EQ(t.num_links(), 8);
+  EXPECT_EQ(t.family(), TopoFamily::Ring);
+  EXPECT_EQ(t.diameter(), 4);
+  EXPECT_EQ(t.distance(0, 5), 3);
+}
+
+TEST(Topology, ChainShape) {
+  const auto t = Topology::chain(6);
+  EXPECT_EQ(t.num_links(), 5);
+  EXPECT_EQ(t.diameter(), 5);
+  EXPECT_EQ(t.distance(1, 4), 3);
+}
+
+TEST(Topology, MeshShapeAndCoords) {
+  const auto t = Topology::mesh(3, 4);
+  EXPECT_EQ(t.num_procs(), 12);
+  EXPECT_EQ(t.num_links(), 3 * 3 + 4 * 2);  // 3 rows x 3 + 4 cols x 2
+  EXPECT_EQ(t.diameter(), 2 + 3);
+  EXPECT_EQ(t.coords2d(7), (std::pair{1, 3}));
+  EXPECT_EQ(t.at2d(2, 1), 9);
+  EXPECT_EQ(t.distance(t.at2d(0, 0), t.at2d(2, 3)), 5);
+  EXPECT_EQ(t.proc_label(7), "(1,3)");
+}
+
+TEST(Topology, TorusWrapsDistances) {
+  const auto t = Topology::torus(4, 4);
+  EXPECT_EQ(t.num_procs(), 16);
+  EXPECT_EQ(t.num_links(), 32);
+  EXPECT_EQ(t.diameter(), 4);
+  EXPECT_EQ(t.distance(t.at2d(0, 0), t.at2d(0, 3)), 1);
+  EXPECT_EQ(t.distance(t.at2d(0, 0), t.at2d(3, 3)), 2);
+}
+
+class HypercubeTopo : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeTopo, DistanceIsHammingDistance) {
+  const int d = GetParam();
+  const auto t = Topology::hypercube(d);
+  EXPECT_EQ(t.num_procs(), 1 << d);
+  EXPECT_EQ(t.num_links(), d * (1 << d) / 2);
+  EXPECT_EQ(t.diameter(), d);
+  for (int u = 0; u < t.num_procs(); u += 3) {
+    for (int v = 0; v < t.num_procs(); v += 5) {
+      EXPECT_EQ(t.distance(u, v),
+                popcount32(static_cast<std::uint32_t>(u ^ v)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeTopo, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Topology, HypercubeLabels) {
+  const auto t = Topology::hypercube(3);
+  EXPECT_EQ(t.proc_label(5), "101");
+  EXPECT_EQ(t.proc_label(0), "000");
+}
+
+TEST(Topology, CompleteBinaryTree) {
+  const auto t = Topology::complete_binary_tree(4);
+  EXPECT_EQ(t.num_procs(), 15);
+  EXPECT_EQ(t.num_links(), 14);
+  EXPECT_EQ(t.diameter(), 6);
+  EXPECT_EQ(t.distance(7, 8), 2);  // siblings via parent 3
+}
+
+TEST(Topology, StarAndComplete) {
+  const auto star = Topology::star(6);
+  EXPECT_EQ(star.num_links(), 5);
+  EXPECT_EQ(star.diameter(), 2);
+  const auto k = Topology::complete(5);
+  EXPECT_EQ(k.num_links(), 10);
+  EXPECT_EQ(k.diameter(), 1);
+}
+
+TEST(Topology, ButterflyShape) {
+  const int kk = 3;
+  const auto t = Topology::butterfly(kk);
+  EXPECT_EQ(t.num_procs(), (kk + 1) * (1 << kk));
+  EXPECT_EQ(t.num_links(), kk * (1 << kk) * 2);
+  // Ranks are connected: first-rank node reaches last rank in k hops.
+  EXPECT_EQ(t.distance(0, kk * (1 << kk)), kk);
+}
+
+TEST(Topology, Mesh3dShape) {
+  const auto t = Topology::mesh3d(2, 3, 4);
+  EXPECT_EQ(t.num_procs(), 24);
+  EXPECT_EQ(t.diameter(), 1 + 2 + 3);
+}
+
+TEST(Topology, CustomGraph) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto t = Topology::custom("tri-chain", std::move(g));
+  EXPECT_EQ(t.family(), TopoFamily::Custom);
+  EXPECT_EQ(t.name(), "tri-chain");
+  EXPECT_EQ(t.distance(0, 2), 2);
+  EXPECT_EQ(t.proc_label(2), "2");
+}
+
+TEST(Topology, LinkBetweenAndEndpoints) {
+  const auto t = Topology::ring(5);
+  const auto link = t.link_between(2, 3);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(t.link_endpoints(*link), (std::pair{2, 3}));
+  EXPECT_FALSE(t.link_between(0, 2).has_value());
+  // Symmetric lookup.
+  EXPECT_EQ(t.link_between(3, 2), link);
+}
+
+TEST(Topology, CoordsRequire2dFamily) {
+  const auto t = Topology::ring(5);
+  EXPECT_DEATH((void)t.coords2d(0), "coords2d");
+}
+
+TEST(TopoFamilyNames, ToString) {
+  EXPECT_EQ(to_string(TopoFamily::Hypercube), "hypercube");
+  EXPECT_EQ(to_string(TopoFamily::Mesh3D), "mesh3d");
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "oregami/mapper/binomial_mesh.hpp"
+
+namespace oregami {
+namespace {
+
+TEST(BinomialMesh, TrivialOrders) {
+  const auto e0 = embed_binomial_in_mesh(0);
+  EXPECT_EQ(e0.rows * e0.cols, 1);
+  EXPECT_EQ(e0.proc_of_node, std::vector<int>{0});
+
+  const auto e1 = embed_binomial_in_mesh(1);
+  EXPECT_EQ(e1.rows * e1.cols, 2);
+  EXPECT_EQ(e1.average_dilation(), 1.0);
+}
+
+class BinomialMeshParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinomialMeshParam, PlacementIsABijection) {
+  const auto e = embed_binomial_in_mesh(GetParam());
+  const int n = 1 << GetParam();
+  EXPECT_EQ(e.rows * e.cols, n);
+  std::set<int> procs(e.proc_of_node.begin(), e.proc_of_node.end());
+  EXPECT_EQ(procs.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(*procs.begin(), 0);
+  EXPECT_EQ(*procs.rbegin(), n - 1);
+}
+
+TEST_P(BinomialMeshParam, MeshIsNearlySquare) {
+  const auto e = embed_binomial_in_mesh(GetParam());
+  EXPECT_TRUE(e.rows == e.cols || e.rows == 2 * e.cols);
+}
+
+TEST_P(BinomialMeshParam, AverageDilationWithinPaperBound) {
+  // The [LRG+89] claim reproduced by this construction: average
+  // dilation bounded by 1.2 for arbitrarily large binomial trees.
+  const auto e = embed_binomial_in_mesh(GetParam());
+  EXPECT_LE(e.average_dilation(), 1.2)
+      << "k = " << GetParam() << " avg = " << e.average_dilation();
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BinomialMeshParam,
+                         ::testing::Range(2, 17));
+
+TEST(BinomialMesh, MostEdgesHaveDilationOne) {
+  const auto e = embed_binomial_in_mesh(12);
+  int ones = 0;
+  for (int m = 1; m < (1 << 12); ++m) {
+    if (e.edge_dilation(m) == 1) {
+      ++ones;
+    }
+  }
+  // The construction keeps the overwhelming majority of edges at
+  // dilation 1 (long edges are the log-many top-level root links).
+  EXPECT_GT(ones, ((1 << 12) - 1) * 85 / 100);
+}
+
+TEST(BinomialMesh, MaxDilationGrowsSlowly) {
+  // Max dilation is bounded by the mesh diameter and in practice stays
+  // near sqrt(n)/const; sanity-check monotone-ish growth.
+  for (int k = 2; k <= 14; ++k) {
+    const auto e = embed_binomial_in_mesh(k);
+    EXPECT_LE(e.max_dilation(), e.rows + e.cols - 2);
+    EXPECT_GE(e.max_dilation(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "oregami/core/recognize.hpp"
+#include "oregami/graph/gray_code.hpp"
+#include "oregami/mapper/canned.hpp"
+
+namespace oregami {
+namespace {
+
+Graph ring_graph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    g.add_edge(i, (i + 1) % n);
+  }
+  return g;
+}
+
+Graph mesh_graph(int r, int c) {
+  Graph g(r * c);
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) {
+      if (j + 1 < c) {
+        g.add_edge(i * c + j, i * c + j + 1);
+      }
+      if (i + 1 < r) {
+        g.add_edge(i * c + j, (i + 1) * c + j);
+      }
+    }
+  }
+  return g;
+}
+
+Graph binomial_graph(int k) {
+  Graph g(1 << k);
+  for (int m = 1; m < (1 << k); ++m) {
+    g.add_edge(m, m & (m - 1));
+  }
+  return g;
+}
+
+Graph cbt_graph(int h) {
+  const int n = (1 << h) - 1;
+  Graph g(n);
+  for (int v = 1; v < n; ++v) {
+    g.add_edge(v, (v - 1) / 2);
+  }
+  return g;
+}
+
+/// Max hop distance between mapped endpoints of any task-graph edge.
+int mapped_max_dilation(const Graph& tg, const CannedMapping& m,
+                        const Topology& topo) {
+  int worst = 0;
+  for (const auto& e : tg.edges()) {
+    const int cu = m.contraction.cluster_of_task[static_cast<std::size_t>(e.u)];
+    const int cv = m.contraction.cluster_of_task[static_cast<std::size_t>(e.v)];
+    const int pu = m.embedding.proc_of_cluster[static_cast<std::size_t>(cu)];
+    const int pv = m.embedding.proc_of_cluster[static_cast<std::size_t>(cv)];
+    worst = std::max(worst, topo.distance(pu, pv));
+  }
+  return worst;
+}
+
+TEST(FamilyHints, ParseKnownNames) {
+  EXPECT_EQ(family_from_hint("ring"), GraphFamily::Ring);
+  EXPECT_EQ(family_from_hint("grid"), GraphFamily::Mesh);
+  EXPECT_EQ(family_from_hint("cube"), GraphFamily::Hypercube);
+  EXPECT_EQ(family_from_hint("binomial_tree"), GraphFamily::BinomialTree);
+  EXPECT_EQ(family_from_hint("cbt"), GraphFamily::CompleteBinaryTree);
+  EXPECT_EQ(family_from_hint("whatever"), GraphFamily::Unknown);
+}
+
+TEST(DetectSpecific, RoutesToRightDetector) {
+  const auto g = ring_graph(4);  // also Q2
+  const auto as_ring = detect_specific_family(g, GraphFamily::Ring);
+  ASSERT_TRUE(as_ring.has_value());
+  EXPECT_EQ(as_ring->family, GraphFamily::Ring);
+  const auto as_cube = detect_specific_family(g, GraphFamily::Hypercube);
+  ASSERT_TRUE(as_cube.has_value());
+  EXPECT_EQ(as_cube->family, GraphFamily::Hypercube);
+  // C4 is also the 2x2 mesh; a 6-ring is not a mesh of any shape.
+  EXPECT_TRUE(detect_specific_family(g, GraphFamily::Mesh).has_value());
+  EXPECT_FALSE(
+      detect_specific_family(ring_graph(6), GraphFamily::Mesh).has_value());
+}
+
+TEST(CannedRing, OntoHypercubeViaGrayCodeDilationOne) {
+  const auto g = ring_graph(16);
+  const auto fam = detect_ring(g);
+  ASSERT_TRUE(fam.has_value());
+  const auto topo = Topology::hypercube(4);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  // Equal sizes: contraction is a bijection; every ring edge including
+  // the wrap maps to a cube edge (Gray cycle).
+  EXPECT_EQ(m->contraction.num_clusters, 16);
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedRing, ContractsOntoSmallerCube) {
+  const auto g = ring_graph(32);
+  const auto fam = detect_ring(g);
+  const auto topo = Topology::hypercube(3);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 8);
+  EXPECT_EQ(m->contraction.max_cluster_size(), 4);
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedRing, SnakeOntoMesh) {
+  const auto g = ring_graph(12);
+  const auto fam = detect_ring(g);
+  const auto topo = Topology::mesh(3, 4);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  // Snake: all non-wrap edges dilation 1; the wrap edge may be longer.
+  int over = 0;
+  for (const auto& e : g.edges()) {
+    const int pu = m->embedding.proc_of_cluster[static_cast<std::size_t>(
+        m->contraction.cluster_of_task[static_cast<std::size_t>(e.u)])];
+    const int pv = m->embedding.proc_of_cluster[static_cast<std::size_t>(
+        m->contraction.cluster_of_task[static_cast<std::size_t>(e.v)])];
+    if (topo.distance(pu, pv) > 1) {
+      ++over;
+    }
+  }
+  EXPECT_LE(over, 1);
+}
+
+TEST(CannedRing, SnakeOntoTorusWrapsWithDilationOne) {
+  // On a torus with an even number of rows the snake's wrap edge
+  // closes through the row wrap-around: every ring edge has dilation 1.
+  const auto g = ring_graph(16);
+  const auto fam = detect_ring(g);
+  const auto topo = Topology::torus(4, 4);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedRing, OntoRingIdentity) {
+  const auto g = ring_graph(8);
+  const auto fam = detect_ring(g);
+  const auto topo = Topology::ring(8);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedMesh, TilesOntoSmallerMesh) {
+  const auto g = mesh_graph(8, 8);
+  const auto fam = detect_mesh(g);
+  ASSERT_TRUE(fam.has_value());
+  const auto topo = Topology::mesh(4, 4);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 16);
+  EXPECT_EQ(m->contraction.max_cluster_size(), 4);
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedMesh, OntoHypercubeDilationOne) {
+  const auto g = mesh_graph(4, 8);
+  const auto fam = detect_mesh(g);
+  ASSERT_TRUE(fam.has_value());
+  const auto topo = Topology::hypercube(5);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 32);
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedMesh, TiledOntoSmallerHypercube) {
+  const auto g = mesh_graph(8, 8);
+  const auto fam = detect_mesh(g);
+  const auto topo = Topology::hypercube(4);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 16);
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedHypercube, SubcubeContraction) {
+  Graph g(16);
+  for (int v = 0; v < 16; ++v) {
+    for (int b = 0; b < 4; ++b) {
+      if (v < (v ^ (1 << b))) {
+        g.add_edge(v, v ^ (1 << b));
+      }
+    }
+  }
+  const auto fam = detect_hypercube(g);
+  ASSERT_TRUE(fam.has_value());
+  const auto topo = Topology::hypercube(2);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 4);
+  EXPECT_EQ(m->contraction.max_cluster_size(), 4);
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedBinomial, OntoHypercubeDilationOne) {
+  const auto g = binomial_graph(4);
+  const auto fam = detect_binomial_tree(g);
+  ASSERT_TRUE(fam.has_value());
+  const auto topo = Topology::hypercube(4);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedBinomial, ContractedOntoSmallerHypercube) {
+  const auto g = binomial_graph(6);
+  const auto fam = detect_binomial_tree(g);
+  const auto topo = Topology::hypercube(3);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 8);
+  EXPECT_EQ(m->contraction.max_cluster_size(), 8);
+  EXPECT_EQ(mapped_max_dilation(g, *m, topo), 1);
+}
+
+TEST(CannedBinomial, OntoMeshLowAverageDilation) {
+  const auto g = binomial_graph(6);
+  const auto fam = detect_binomial_tree(g);
+  const auto topo = Topology::mesh(8, 8);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 64);
+  double total = 0;
+  for (const auto& e : g.edges()) {
+    const int pu = m->embedding.proc_of_cluster[static_cast<std::size_t>(
+        m->contraction.cluster_of_task[static_cast<std::size_t>(e.u)])];
+    const int pv = m->embedding.proc_of_cluster[static_cast<std::size_t>(
+        m->contraction.cluster_of_task[static_cast<std::size_t>(e.v)])];
+    total += topo.distance(pu, pv);
+  }
+  EXPECT_LE(total / static_cast<double>(g.num_edges()), 1.2);
+}
+
+TEST(CannedBinomial, TransposedMeshAccepted) {
+  // B_5 needs an 8x4 footprint; a 4x16 target mesh fits transposed.
+  const auto g = binomial_graph(5);
+  const auto fam = detect_binomial_tree(g);
+  const auto topo = Topology::mesh(4, 16);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 32);
+}
+
+TEST(CannedCbt, InorderIntoHypercubeDilationAtMostTwo) {
+  const auto g = cbt_graph(4);  // 15 tasks
+  const auto fam = detect_complete_binary_tree(g);
+  ASSERT_TRUE(fam.has_value());
+  const auto topo = Topology::hypercube(4);  // 16 processors
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 15);
+  EXPECT_LE(mapped_max_dilation(g, *m, topo), 2);
+}
+
+TEST(CannedCbt, TooBigForCubeFallsThrough) {
+  const auto g = cbt_graph(4);
+  const auto fam = detect_complete_binary_tree(g);
+  const auto topo = Topology::hypercube(3);  // only 8 processors
+  EXPECT_FALSE(canned_mapping(*fam, topo).has_value());
+}
+
+TEST(CannedStar, HubOnMaxDegreeProcessor) {
+  Graph g(9);
+  for (int v = 1; v < 9; ++v) {
+    g.add_edge(0, v);
+  }
+  const auto fam = detect_star(g);
+  ASSERT_TRUE(fam.has_value());
+  const auto topo = Topology::star(5);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  // Hub task's cluster lands on processor 0 (the star centre).
+  const int hub_cluster = m->contraction.cluster_of_task[0];
+  EXPECT_EQ(m->embedding.proc_of_cluster[static_cast<std::size_t>(
+                hub_cluster)],
+            0);
+  EXPECT_EQ(m->contraction.num_clusters, 5);
+}
+
+TEST(Canned, UnknownFamilyYieldsNothing) {
+  RecognizedFamily unknown;
+  EXPECT_FALSE(
+      canned_mapping(unknown, Topology::ring(4)).has_value());
+}
+
+TEST(Canned, ValidatedOutputs) {
+  // Every produced mapping passes contraction/embedding validation
+  // (validate() is called internally; spot-check the invariants here).
+  const auto g = ring_graph(10);
+  const auto fam = detect_ring(g);
+  const auto topo = Topology::mesh(2, 3);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->contraction.num_clusters, 6);
+  std::set<int> procs(m->embedding.proc_of_cluster.begin(),
+                      m->embedding.proc_of_cluster.end());
+  EXPECT_EQ(procs.size(), 6u);
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "oregami/arch/cayley_topology.hpp"
+#include "oregami/core/recognize.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/driver.hpp"
+
+namespace oregami {
+namespace {
+
+TEST(CayleyTopology, CyclicGroupGivesRing) {
+  std::vector<int> image{1, 2, 3, 4, 5, 0};
+  const auto group =
+      PermutationGroup::generate({Permutation(image)}, 6);
+  ASSERT_TRUE(group.has_value());
+  const auto topo = cayley_topology(*group, "z6");
+  EXPECT_EQ(topo.num_procs(), 6);
+  EXPECT_EQ(topo.num_links(), 6);
+  EXPECT_EQ(recognize_family(topo.graph()).family, GraphFamily::Ring);
+}
+
+TEST(CayleyTopology, ElementaryAbelianGivesHypercube) {
+  // (Z_2)^3 with the three bit-flip translations: Q3.
+  std::vector<Permutation> gens;
+  for (int b = 0; b < 3; ++b) {
+    std::vector<int> image(8);
+    for (int x = 0; x < 8; ++x) {
+      image[static_cast<std::size_t>(x)] = x ^ (1 << b);
+    }
+    gens.emplace_back(std::move(image));
+  }
+  const auto group = PermutationGroup::generate(gens, 8);
+  ASSERT_TRUE(group.has_value());
+  const auto topo = cayley_topology(*group, "z2^3");
+  EXPECT_EQ(topo.num_procs(), 8);
+  EXPECT_EQ(recognize_family(topo.graph()).family,
+            GraphFamily::Hypercube);
+}
+
+TEST(StarGraph, S3IsARingOfSix) {
+  const auto topo = star_graph_network(3);
+  EXPECT_EQ(topo.num_procs(), 6);
+  // The 3-star is the 6-cycle.
+  EXPECT_EQ(recognize_family(topo.graph()).family, GraphFamily::Ring);
+}
+
+TEST(StarGraph, S4Properties) {
+  const auto topo = star_graph_network(4);
+  EXPECT_EQ(topo.num_procs(), 24);
+  // Degree n-1 = 3 everywhere; diameter floor(3(n-1)/2) = 4.
+  for (int v = 0; v < 24; ++v) {
+    EXPECT_EQ(topo.graph().degree(v), 3);
+  }
+  EXPECT_EQ(topo.diameter(), 4);
+  EXPECT_EQ(topo.num_links(), 24 * 3 / 2);
+}
+
+TEST(Pancake, P3IsARingOfSix) {
+  const auto topo = pancake_network(3);
+  EXPECT_EQ(topo.num_procs(), 6);
+  EXPECT_EQ(recognize_family(topo.graph()).family, GraphFamily::Ring);
+}
+
+TEST(Pancake, P4Properties) {
+  const auto topo = pancake_network(4);
+  EXPECT_EQ(topo.num_procs(), 24);
+  for (int v = 0; v < 24; ++v) {
+    EXPECT_EQ(topo.graph().degree(v), 3);
+  }
+  EXPECT_EQ(topo.diameter(), 4);  // known for the 4-pancake
+}
+
+TEST(CayleyTopology, UsableAsMappingTarget) {
+  // Map a 24-task broadcast ring onto the 4-star network end to end.
+  const auto cp = larcs::compile_source(larcs::programs::ring_pipeline(),
+                                        {{"n", 24}, {"stages", 2}});
+  const auto topo = star_graph_network(4);
+  const auto report = map_computation(cp.graph, topo);
+  EXPECT_NO_THROW(validate_mapping(report.mapping, cp.graph, topo));
+  EXPECT_EQ(report.mapping.contraction.num_clusters, 24);
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "oregami/core/recognize.hpp"
+#include "oregami/mapper/canned.hpp"
+#include "oregami/mapper/cbt_mesh.hpp"
+
+namespace oregami {
+namespace {
+
+TEST(CbtMesh, DimensionsFollowFormulas) {
+  for (int h = 1; h <= 10; ++h) {
+    const auto e = embed_cbt_in_mesh(h);
+    EXPECT_EQ(e.cols, (1 << (h / 2 + 1)) - 1) << h;
+    EXPECT_EQ(e.rows, (1 << ((h + 1) / 2)) - 1) << h;
+    EXPECT_GE(static_cast<long>(e.rows) * e.cols,
+              (1L << h) - 1);  // everything fits
+  }
+}
+
+class CbtMeshParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(CbtMeshParam, CellsAreDistinctAndInRange) {
+  const auto e = embed_cbt_in_mesh(GetParam());
+  std::set<int> cells;
+  for (const int cell : e.cell_of_node) {
+    EXPECT_GE(cell, 0);
+    EXPECT_LT(cell, e.rows * e.cols);
+    EXPECT_TRUE(cells.insert(cell).second) << "cell reused";
+  }
+}
+
+TEST_P(CbtMeshParam, LeafEdgesHaveDilationOne) {
+  const int h = GetParam();
+  const auto e = embed_cbt_in_mesh(h);
+  const int n = (1 << h) - 1;
+  // Leaves occupy heap indices [2^(h-1) - 1, 2^h - 1).
+  for (int v = (1 << (h - 1)) - 1; v < n; ++v) {
+    EXPECT_EQ(e.edge_dilation(v), 1) << "leaf " << v;
+  }
+}
+
+TEST_P(CbtMeshParam, AverageDilationStaysSmall) {
+  const auto e = embed_cbt_in_mesh(GetParam());
+  // The H-tree's level-l edges have dilation ~2^(l/2-1); the average
+  // converges to about 1.4 (measured ~1.45 at h=14).
+  EXPECT_LE(e.average_dilation(), 1.6);
+  EXPECT_GE(e.average_dilation(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, CbtMeshParam,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 12));
+
+TEST(CbtMesh, TopEdgeDilationIsHalfFootprint) {
+  const auto e = embed_cbt_in_mesh(6);  // 7x15 grid, top split horizontal
+  // Root's children sit half a child-footprint away.
+  EXPECT_EQ(e.edge_dilation(1), 4);  // (width_of(5)+1)/2
+  EXPECT_EQ(e.edge_dilation(2), 4);
+}
+
+TEST(CbtMeshCanned, CbtOntoMeshUsesHTree) {
+  Graph g(15);
+  for (int v = 1; v < 15; ++v) {
+    g.add_edge(v, (v - 1) / 2);
+  }
+  const auto fam = detect_complete_binary_tree(g);
+  ASSERT_TRUE(fam.has_value());
+  const auto topo = Topology::mesh(3, 7);
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->description.find("H-tree"), std::string::npos);
+  EXPECT_EQ(m->contraction.num_clusters, 15);
+}
+
+TEST(CbtMeshCanned, TransposedTargetAccepted) {
+  Graph g(15);
+  for (int v = 1; v < 15; ++v) {
+    g.add_edge(v, (v - 1) / 2);
+  }
+  const auto fam = detect_complete_binary_tree(g);
+  const auto topo = Topology::mesh(7, 3);  // transposed footprint
+  const auto m = canned_mapping(*fam, topo);
+  ASSERT_TRUE(m.has_value());
+}
+
+TEST(CbtMeshCanned, TooSmallMeshFallsThrough) {
+  Graph g(15);
+  for (int v = 1; v < 15; ++v) {
+    g.add_edge(v, (v - 1) / 2);
+  }
+  const auto fam = detect_complete_binary_tree(g);
+  const auto topo = Topology::mesh(3, 5);  // needs 3x7
+  EXPECT_FALSE(canned_mapping(*fam, topo).has_value());
+}
+
+}  // namespace
+}  // namespace oregami

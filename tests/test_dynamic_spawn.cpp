@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "oregami/graph/gray_code.hpp"
+#include "oregami/mapper/dynamic_spawn.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+namespace {
+
+TEST(BinomialSpawn, StagesFollowHighestBit) {
+  const auto plan = plan_binomial_spawn(4, Topology::hypercube(4));
+  EXPECT_EQ(plan.spawn_stage_of_node[0], 0);
+  EXPECT_EQ(plan.spawn_stage_of_node[1], 1);
+  EXPECT_EQ(plan.spawn_stage_of_node[2], 2);
+  EXPECT_EQ(plan.spawn_stage_of_node[3], 2);
+  EXPECT_EQ(plan.spawn_stage_of_node[4], 3);
+  EXPECT_EQ(plan.spawn_stage_of_node[8], 4);
+  EXPECT_EQ(plan.spawn_stage_of_node[15], 4);
+}
+
+TEST(BinomialSpawn, LiveSetDoublesEachStage) {
+  const auto plan = plan_binomial_spawn(5, Topology::hypercube(5));
+  for (int s = 0; s <= 5; ++s) {
+    EXPECT_EQ(plan.live_nodes(s).size(), 1u << s);
+  }
+  // Stage s live set is exactly the masks below 2^s (prefix property:
+  // the running tree is always B_s by address).
+  const auto live = plan.live_nodes(3);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i], static_cast<int>(i));
+  }
+}
+
+TEST(BinomialSpawn, BalancedAtEveryStageOnHypercube) {
+  const auto topo = Topology::hypercube(3);
+  const auto plan = plan_binomial_spawn(6, topo);
+  // Once the tree covers the machine (stage >= 3), perfect balance.
+  for (int s = 3; s <= 6; ++s) {
+    EXPECT_EQ(plan.stage_imbalance(s, topo.num_procs()), 0)
+        << "stage " << s;
+  }
+}
+
+TEST(BinomialSpawn, BalancedAtEveryStageOnMesh) {
+  const auto topo = Topology::mesh(4, 4);
+  const auto plan = plan_binomial_spawn(6, topo);
+  for (int s = 4; s <= 6; ++s) {
+    EXPECT_EQ(plan.stage_imbalance(s, topo.num_procs()), 0)
+        << "stage " << s;
+  }
+}
+
+TEST(BinomialSpawn, NoMigrationByConstruction) {
+  // The plan fixes placements up front; verify the documented stability
+  // by re-planning a smaller tree on the same topology: placements of
+  // shared nodes agree.
+  const auto topo = Topology::hypercube(4);
+  const auto big = plan_binomial_spawn(6, topo);
+  const auto small = plan_binomial_spawn(4, topo);
+  for (int m = 0; m < (1 << 4); ++m) {
+    EXPECT_EQ(big.proc_of_node[static_cast<std::size_t>(m)],
+              small.proc_of_node[static_cast<std::size_t>(m)])
+        << "node " << m;
+  }
+}
+
+TEST(BinomialSpawn, SpawnerAlwaysAliveBeforeChild) {
+  // At the stage-s growth step every live node m spawns m | 2^s, i.e.
+  // the *spawner* of m clears m's highest set bit (distinct from the
+  // comm-tree parent, which clears the lowest). The spawner must be
+  // strictly older; the tree parent only needs to be no younger.
+  const auto plan = plan_binomial_spawn(6, Topology::hypercube(3));
+  for (int m = 1; m < (1 << 6); ++m) {
+    const int spawner =
+        m & ~(1 << floor_log2(static_cast<std::uint64_t>(m)));
+    EXPECT_LT(plan.spawn_stage_of_node[static_cast<std::size_t>(spawner)],
+              plan.spawn_stage_of_node[static_cast<std::size_t>(m)]);
+    const int tree_parent = m & (m - 1);
+    EXPECT_LE(
+        plan.spawn_stage_of_node[static_cast<std::size_t>(tree_parent)],
+        plan.spawn_stage_of_node[static_cast<std::size_t>(m)]);
+  }
+}
+
+TEST(BinomialSpawn, UnsupportedTopologyThrows) {
+  EXPECT_THROW((void)plan_binomial_spawn(4, Topology::star(8)),
+               MappingError);
+}
+
+TEST(CbtSpawn, StagesAreDepths) {
+  const auto plan = plan_cbt_spawn(4, Topology::hypercube(4));
+  EXPECT_EQ(plan.spawn_stage_of_node[0], 0);
+  EXPECT_EQ(plan.spawn_stage_of_node[1], 1);
+  EXPECT_EQ(plan.spawn_stage_of_node[2], 1);
+  EXPECT_EQ(plan.spawn_stage_of_node[3], 2);
+  EXPECT_EQ(plan.spawn_stage_of_node[7], 3);
+  EXPECT_EQ(plan.spawn_stage_of_node[14], 3);
+}
+
+TEST(CbtSpawn, LiveSetIsFullLevels) {
+  const auto plan = plan_cbt_spawn(5, Topology::hypercube(5));
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_EQ(plan.live_nodes(s).size(),
+              static_cast<std::size_t>((1 << (s + 1)) - 1));
+  }
+}
+
+TEST(CbtSpawn, DistinctProcessorsOnBigEnoughMachine) {
+  const auto topo = Topology::hypercube(4);
+  const auto plan = plan_cbt_spawn(4, topo);  // 15 tasks, 16 procs
+  std::set<int> procs(plan.proc_of_node.begin(), plan.proc_of_node.end());
+  EXPECT_EQ(procs.size(), plan.proc_of_node.size());
+}
+
+TEST(CbtSpawn, HTreeOnMesh) {
+  // h = 4 needs a 3x7 H-tree footprint.
+  const auto topo = Topology::mesh(3, 7);
+  const auto plan = plan_cbt_spawn(4, topo);
+  std::set<int> procs(plan.proc_of_node.begin(), plan.proc_of_node.end());
+  EXPECT_EQ(procs.size(), 15u);
+  EXPECT_NE(plan.description.find("H-tree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "oregami/graph/graph.hpp"
+#include "oregami/graph/gray_code.hpp"
+#include "oregami/graph/shortest_paths.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+namespace {
+
+Graph path_graph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+Graph cycle_graph(int n) {
+  Graph g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, AddEdgeNormalisesEndpoints) {
+  Graph g(3);
+  g.add_edge(2, 0, 5);
+  ASSERT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edges()[0].u, 0);
+  EXPECT_EQ(g.edges()[0].v, 2);
+  EXPECT_EQ(g.edges()[0].weight, 5);
+}
+
+TEST(Graph, DuplicateEdgeAccumulatesWeight) {
+  Graph g(2);
+  const int id1 = g.add_edge(0, 1, 3);
+  const int id2 = g.add_edge(1, 0, 4);
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge_weight(0, 1), 7);
+  EXPECT_EQ(g.edge_weight(1, 0), 7);
+  // Both adjacency mirrors must see the merged weight.
+  EXPECT_EQ(g.neighbors(0)[0].weight, 7);
+  EXPECT_EQ(g.neighbors(1)[0].weight, 7);
+}
+
+TEST(Graph, EdgeWeightAbsent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.edge_weight(0, 2).has_value());
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Graph, DegreesAndTotalWeight) {
+  Graph g(4);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 2, 3);
+  g.add_edge(0, 3, 4);
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.total_weight(), 9);
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 3);
+  EXPECT_EQ(hist[3], 1);
+}
+
+TEST(Components, SingleComponent) {
+  EXPECT_TRUE(is_connected(cycle_graph(5)));
+  const auto comp = connected_components(cycle_graph(5));
+  for (const int c : comp) {
+    EXPECT_EQ(c, 0);
+  }
+}
+
+TEST(Components, TwoComponents) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Components, EmptyGraphIsConnected) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const auto dist = bfs_distances(path_graph(5), 0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(Apsp, MatchesPairwiseBfs) {
+  const Graph g = cycle_graph(7);
+  const auto table = all_pairs_distances(g);
+  for (int u = 0; u < 7; ++u) {
+    const auto row = bfs_distances(g, u);
+    EXPECT_EQ(table[static_cast<std::size_t>(u)], row);
+  }
+}
+
+TEST(Diameter, CycleAndPath) {
+  EXPECT_EQ(diameter(cycle_graph(8)), 4);
+  EXPECT_EQ(diameter(cycle_graph(9)), 4);
+  EXPECT_EQ(diameter(path_graph(6)), 5);
+}
+
+TEST(Diameter, ThrowsOnDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)diameter(g), MappingError);
+}
+
+TEST(ShortestPath, EndpointsAndLength) {
+  const Graph g = cycle_graph(10);
+  const auto path = shortest_path(g, 2, 6);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), 2);
+  EXPECT_EQ(path.back(), 6);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(ShortestPath, SameVertex) {
+  const auto path = shortest_path(path_graph(3), 1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1);
+}
+
+TEST(ShortestPath, UnreachableEmpty) {
+  Graph g(2);
+  EXPECT_TRUE(shortest_path(g, 0, 1).empty());
+}
+
+// --- Gray code -----------------------------------------------------------
+
+TEST(GrayCode, ConsecutiveCodesDifferInOneBit) {
+  for (std::uint32_t i = 0; i + 1 < 1024; ++i) {
+    EXPECT_EQ(popcount32(gray_code(i) ^ gray_code(i + 1)), 1);
+  }
+}
+
+TEST(GrayCode, RankIsInverse) {
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(gray_rank(gray_code(i)), i);
+  }
+}
+
+TEST(GrayCode, SequenceIsPermutation) {
+  const auto seq = gray_sequence(6);
+  ASSERT_EQ(seq.size(), 64u);
+  std::vector<bool> seen(64, false);
+  for (const auto code : seq) {
+    ASSERT_LT(code, 64u);
+    EXPECT_FALSE(seen[code]);
+    seen[code] = true;
+  }
+}
+
+TEST(BitHelpers, PowerOfTwoAndLog) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(64), 6);
+  EXPECT_EQ(floor_log2(100), 6);
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,162 @@
+// End-to-end pipeline tests: LaRCS source -> compiler -> MAPPER ->
+// METRICS, across the program corpus and a spread of architectures.
+#include <gtest/gtest.h>
+
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/driver.hpp"
+#include "oregami/metrics/metrics.hpp"
+#include "oregami/metrics/render.hpp"
+#include "oregami/metrics/session.hpp"
+
+namespace oregami {
+namespace {
+
+struct Scenario {
+  std::string program_name;
+  int topo_kind;  // 0 cube, 1 mesh, 2 ring, 3 cbt, 4 torus
+};
+
+Topology make_topo(int kind) {
+  switch (kind) {
+    case 0: return Topology::hypercube(3);
+    case 1: return Topology::mesh(4, 4);
+    case 2: return Topology::ring(6);
+    case 3: return Topology::complete_binary_tree(3);
+    default: return Topology::torus(4, 4);
+  }
+}
+
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineSweep, CompilesMapsMeasuresRenders) {
+  const auto [program_index, topo_kind] = GetParam();
+  const auto catalog = larcs::programs::catalog();
+  const auto& entry = catalog[static_cast<std::size_t>(program_index)];
+  std::map<std::string, long> bindings(entry.example_bindings.begin(),
+                                       entry.example_bindings.end());
+  const auto ast = larcs::parse_program(entry.source);
+  const auto cp = larcs::compile(ast, bindings);
+  const Topology topo = make_topo(topo_kind);
+
+  const auto report = map_program(ast, cp, topo);
+  ASSERT_NO_THROW(validate_mapping(report.mapping, cp.graph, topo))
+      << entry.name << " on " << topo.name();
+
+  const auto metrics = compute_metrics(cp.graph, report.mapping, topo);
+  EXPECT_GE(metrics.completion, 0) << entry.name;
+  EXPECT_GE(metrics.total_ipc, 0);
+  EXPECT_GE(metrics.avg_dilation, 0.0);
+  EXPECT_EQ(metrics.load.tasks_per_proc.size(),
+            static_cast<std::size_t>(topo.num_procs()));
+  int placed = 0;
+  for (const int t : metrics.load.tasks_per_proc) {
+    placed += t;
+  }
+  EXPECT_EQ(placed, cp.graph.num_tasks());
+
+  // Renderers never crash and mention the first task.
+  const auto table = render_assignment_table(
+      cp.graph, report.mapping.proc_of_task(), topo);
+  EXPECT_FALSE(table.empty());
+  const auto dot = render_task_graph_dot(cp.graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  const auto catalog = oregami::larcs::programs::catalog();
+  const auto& name =
+      catalog[static_cast<std::size_t>(std::get<0>(info.param))].name;
+  static const char* const topo_names[] = {"cube", "mesh", "ring", "cbt",
+                                           "torus"};
+  return name + "_on_" +
+         topo_names[static_cast<std::size_t>(std::get<1>(info.param))];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CorpusTimesTopologies, PipelineSweep,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 5)),
+    sweep_name);
+
+TEST(Integration, GeneratedProgramsEndToEnd) {
+  for (const int logn : {3, 4, 5}) {
+    const auto src = larcs::programs::fft(logn);
+    const auto ast = larcs::parse_program(src);
+    const auto cp = larcs::compile(ast, {{"n", 1L << logn}});
+    const auto topo = Topology::hypercube(3);
+    const auto report = map_program(ast, cp, topo);
+    EXPECT_NO_THROW(validate_mapping(report.mapping, cp.graph, topo));
+  }
+  for (const int n : {8, 16, 32}) {
+    const auto src = larcs::programs::broadcast_vote(n);
+    const auto cp = larcs::compile_source(src, {{"n", n}});
+    const auto topo = Topology::hypercube(3);
+    const auto report = map_computation(cp.graph, topo);
+    EXPECT_NO_THROW(validate_mapping(report.mapping, cp.graph, topo));
+    // Node-symmetric circulants take the group path when divisible.
+    EXPECT_EQ(report.strategy, MapStrategy::GroupTheoretic);
+  }
+}
+
+TEST(Integration, MapThenHandTuneInSession) {
+  // The full OREGAMI loop: automatic mapping, user inspects METRICS,
+  // drags a task, sees the numbers move, and undoes a bad edit.
+  const auto cp = larcs::compile_source(larcs::programs::nbody(),
+                                        {{"n", 15}, {"s", 2}, {"m", 4}});
+  const auto topo = Topology::hypercube(3);
+  const auto report = map_computation(cp.graph, topo);
+  MetricsSession session(cp.graph, topo, report.mapping);
+  const auto base = session.metrics().completion;
+
+  // Pile three extra tasks onto processor 0: completion must not
+  // improve (the mapper had balanced them).
+  std::int64_t worst = base;
+  for (int t = 1; t <= 3; ++t) {
+    const auto edit = session.move_task(t, 0);
+    worst = std::max(worst, edit.after.completion);
+  }
+  EXPECT_GE(worst, base);
+  // Roll everything back.
+  while (session.undo()) {
+  }
+  EXPECT_EQ(session.metrics().completion, base);
+}
+
+TEST(Integration, LarcsDescriptionIsCompactRelativeToGraph) {
+  // §2: "LaRCS description is very compact -- an order of magnitude
+  // smaller than the size of the graph" for large enough instances.
+  const auto src = larcs::programs::nbody();
+  const auto cp =
+      larcs::compile_source(src, {{"n", 512}, {"s", 4}, {"m", 8}});
+  std::size_t edge_list_bytes = 0;
+  for (const auto& phase : cp.graph.comm_phases()) {
+    for (const auto& e : phase.edges) {
+      edge_list_bytes += std::to_string(e.src).size() +
+                         std::to_string(e.dst).size() +
+                         std::to_string(e.volume).size() + 3;
+    }
+  }
+  EXPECT_GE(edge_list_bytes, 10 * src.size());
+}
+
+TEST(Integration, StrategiesProduceComparableQuality) {
+  // For the 16-task n-body on Q3, the group-theoretic mapping should
+  // not lose to the general path on total IPC (it internalises a full
+  // generator per cluster).
+  const auto cp = larcs::compile_source(larcs::programs::nbody(),
+                                        {{"n", 16}, {"s", 1}, {"m", 1}});
+  const auto topo = Topology::hypercube(3);
+  const auto group_report = map_computation(cp.graph, topo);
+  ASSERT_EQ(group_report.strategy, MapStrategy::GroupTheoretic);
+  MapperOptions no_group;
+  no_group.allow_group = false;
+  const auto general_report = map_computation(cp.graph, topo, no_group);
+  const auto gm = compute_metrics(cp.graph, group_report.mapping, topo);
+  const auto am = compute_metrics(cp.graph, general_report.mapping, topo);
+  EXPECT_LE(gm.total_ipc, am.total_ipc);
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "oregami/larcs/affine.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+
+namespace oregami::larcs {
+namespace {
+
+std::optional<AffineForm> extract(const std::string& expr,
+                                  std::vector<std::string> binders,
+                                  const Env& env = {}) {
+  return extract_affine(parse_expression(expr), binders, env);
+}
+
+TEST(AffineExtract, ConstantsAndBinders) {
+  const auto c = extract("42", {"i", "j"});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(c->is_constant());
+  EXPECT_EQ(c->constant, 42);
+
+  const auto i = extract("i", {"i", "j"});
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->coeffs, (std::vector<long>{1, 0}));
+  EXPECT_EQ(i->constant, 0);
+}
+
+TEST(AffineExtract, LinearCombination) {
+  Env env;
+  env.bind("n", 10);
+  const auto f = extract("2 * i - 3 * j + n + 1", {"i", "j"}, env);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->coeffs, (std::vector<long>{2, -3}));
+  EXPECT_EQ(f->constant, 11);
+}
+
+TEST(AffineExtract, ScalingFromEitherSide) {
+  const auto f = extract("i * 4", {"i"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->coeffs, std::vector<long>{4});
+  const auto g = extract("4 * i", {"i"});
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->coeffs, std::vector<long>{4});
+}
+
+TEST(AffineExtract, NegationDistributes) {
+  const auto f = extract("-(i - j)", {"i", "j"});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->coeffs, (std::vector<long>{-1, 1}));
+}
+
+TEST(AffineExtract, RejectsNonAffine) {
+  EXPECT_FALSE(extract("i * j", {"i", "j"}).has_value());
+  EXPECT_FALSE(extract("i mod 4", {"i"}).has_value());
+  EXPECT_FALSE(extract("i / 2", {"i"}).has_value());
+  EXPECT_FALSE(extract("pow(2, i)", {"i"}).has_value());
+}
+
+TEST(AffineExtract, FoldsBinderFreeSubtrees) {
+  Env env;
+  env.bind("n", 8);
+  const auto f = extract("i + n / 2 + pow(2, 3)", {"i"}, env);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->coeffs, std::vector<long>{1});
+  EXPECT_EQ(f->constant, 12);
+}
+
+TEST(AffineExtract, UnknownFreeVariableRejected) {
+  EXPECT_FALSE(extract("i + q", {"i"}).has_value());
+}
+
+TEST(AffineAnalysis, MatmulIsUniform) {
+  const auto ast = parse_program(programs::matmul_systolic());
+  const auto cp = compile(ast, {{"n", 4}});
+  const auto a = analyze_affine(ast, cp.env);
+  EXPECT_TRUE(a.single_nodetype);
+  EXPECT_TRUE(a.domain_is_polytope);
+  EXPECT_TRUE(a.all_affine);
+  EXPECT_TRUE(a.all_uniform);
+  EXPECT_TRUE(a.systolic_applicable());
+  const auto deps = a.dependence_vectors();
+  ASSERT_EQ(deps.size(), 3u);
+  EXPECT_EQ(deps[0], (std::vector<long>{0, 0, 1}));
+  EXPECT_EQ(deps[1], (std::vector<long>{0, 1, 0}));
+  EXPECT_EQ(deps[2], (std::vector<long>{1, 0, 0}));
+}
+
+TEST(AffineAnalysis, JacobiIsUniform) {
+  const auto ast = parse_program(programs::jacobi());
+  const auto cp = compile(ast, {{"n", 4}, {"iters", 1}});
+  const auto a = analyze_affine(ast, cp.env);
+  EXPECT_TRUE(a.systolic_applicable());
+  // Dependences: (+-1, 0), (0, +-1).
+  EXPECT_EQ(a.dependence_vectors().size(), 4u);
+}
+
+TEST(AffineAnalysis, NbodyModMakesItNonAffine) {
+  const auto ast = parse_program(programs::nbody());
+  const auto cp = compile(ast, {{"n", 15}, {"s", 1}, {"m", 1}});
+  const auto a = analyze_affine(ast, cp.env);
+  EXPECT_FALSE(a.all_affine);
+  EXPECT_FALSE(a.systolic_applicable());
+  for (const auto& rule : a.rules) {
+    EXPECT_EQ(rule.rule_class, RuleClass::NonAffine);
+  }
+}
+
+TEST(AffineAnalysis, ForallRuleIsAffineNotUniform) {
+  const auto ast = parse_program(
+      "algorithm t(n);\n"
+      "nodetype x[i: 0 .. n-1];\n"
+      "comphase a { x(i) -> x(i + j) forall j: 1 .. 2 when i + j < n; }\n");
+  const auto cp = compile(ast, {{"n", 8}});
+  const auto a = analyze_affine(ast, cp.env);
+  EXPECT_TRUE(a.all_affine);
+  EXPECT_FALSE(a.all_uniform);
+  ASSERT_EQ(a.rules.size(), 1u);
+  EXPECT_EQ(a.rules[0].rule_class, RuleClass::Affine);
+}
+
+TEST(AffineAnalysis, TransposedTargetIsAffineNotUniform) {
+  const auto ast = parse_program(
+      "algorithm t(n);\n"
+      "nodetype x[i: 0 .. n-1, j: 0 .. n-1];\n"
+      "comphase a { x(i, j) -> x(j, i) when i != j; }\n");
+  const auto cp = compile(ast, {{"n", 3}});
+  const auto a = analyze_affine(ast, cp.env);
+  EXPECT_TRUE(a.all_affine);
+  EXPECT_FALSE(a.all_uniform);
+}
+
+TEST(AffineAnalysis, MultipleNodetypesNotApplicable) {
+  const auto ast = parse_program(
+      "algorithm t(n);\n"
+      "nodetype a[i: 0 .. n-1];\n"
+      "nodetype b[i: 0 .. n-1];\n"
+      "comphase p { a(i) -> b(i) when 1 == 1; }\n");
+  const auto cp = compile(ast, {{"n", 4}});
+  const auto a = analyze_affine(ast, cp.env);
+  EXPECT_FALSE(a.single_nodetype);
+  EXPECT_FALSE(a.systolic_applicable());
+}
+
+}  // namespace
+}  // namespace oregami::larcs

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "oregami/larcs/expr_eval.hpp"
+#include "oregami/larcs/parser.hpp"
+
+namespace oregami::larcs {
+namespace {
+
+long eval_str(const std::string& src, const Env& env = {}) {
+  return eval(parse_expression(src), env);
+}
+
+TEST(Eval, Arithmetic) {
+  EXPECT_EQ(eval_str("1 + 2 * 3"), 7);
+  EXPECT_EQ(eval_str("(1 + 2) * 3"), 9);
+  EXPECT_EQ(eval_str("10 - 4 - 3"), 3);  // left associative
+  EXPECT_EQ(eval_str("7 / 2"), 3);
+  EXPECT_EQ(eval_str("-7 / 2"), -3);  // truncation toward zero
+}
+
+TEST(Eval, MathematicalMod) {
+  EXPECT_EQ(eval_str("7 mod 3"), 1);
+  EXPECT_EQ(eval_str("-1 mod 8"), 7);  // always non-negative
+  EXPECT_EQ(eval_str("-9 % 4"), 3);
+  EXPECT_EQ(eval_str("8 mod 8"), 0);
+}
+
+TEST(Eval, UnaryMinus) {
+  EXPECT_EQ(eval_str("-5 + 2"), -3);
+  EXPECT_EQ(eval_str("- -5"), 5);  // note: "--" starts a comment
+  EXPECT_EQ(eval_str("3 - -2"), 5);
+}
+
+TEST(Eval, Comparisons) {
+  EXPECT_EQ(eval_str("3 < 4"), 1);
+  EXPECT_EQ(eval_str("4 <= 4"), 1);
+  EXPECT_EQ(eval_str("5 == 5"), 1);
+  EXPECT_EQ(eval_str("5 != 5"), 0);
+  EXPECT_EQ(eval_str("3 > 4"), 0);
+  EXPECT_EQ(eval_str("4 >= 5"), 0);
+}
+
+TEST(Eval, BooleanOpsShortCircuit) {
+  EXPECT_EQ(eval_str("1 and 0"), 0);
+  EXPECT_EQ(eval_str("1 or 0"), 1);
+  EXPECT_EQ(eval_str("not 0"), 1);
+  EXPECT_EQ(eval_str("not 3"), 0);
+  // Short-circuit: the division by zero on the right is never reached.
+  EXPECT_EQ(eval_str("0 and (1 / 0)"), 0);
+  EXPECT_EQ(eval_str("1 or (1 / 0)"), 1);
+}
+
+TEST(Eval, Variables) {
+  Env env;
+  env.bind("n", 15);
+  env.bind("i", 3);
+  EXPECT_EQ(eval_str("(i + (n + 1) / 2) mod n", env), 11);
+  EXPECT_EQ(eval_str("n * n", env), 225);
+}
+
+TEST(Eval, UnknownVariableThrows) {
+  EXPECT_THROW(eval_str("x + 1"), LarcsError);
+  Env env;
+  EXPECT_THROW(env.get("missing"), LarcsError);
+}
+
+TEST(Eval, EnvBindUnbind) {
+  Env env;
+  env.bind("a", 1);
+  EXPECT_TRUE(env.has("a"));
+  env.unbind("a");
+  EXPECT_FALSE(env.has("a"));
+}
+
+TEST(Eval, DivisionAndModByZeroThrow) {
+  EXPECT_THROW(eval_str("1 / 0"), LarcsError);
+  EXPECT_THROW(eval_str("1 mod 0"), LarcsError);
+}
+
+TEST(Eval, Builtins) {
+  EXPECT_EQ(eval_str("pow(2, 10)"), 1024);
+  EXPECT_EQ(eval_str("pow(3, 0)"), 1);
+  EXPECT_EQ(eval_str("log2(1)"), 0);
+  EXPECT_EQ(eval_str("log2(8)"), 3);
+  EXPECT_EQ(eval_str("log2(9)"), 3);  // floor
+  EXPECT_EQ(eval_str("min(3, 7)"), 3);
+  EXPECT_EQ(eval_str("max(3, 7)"), 7);
+  EXPECT_EQ(eval_str("abs(-4)"), 4);
+}
+
+TEST(Eval, BinaryLabelingBuiltins) {
+  EXPECT_EQ(eval_str("xor(5, 3)"), 6);
+  EXPECT_EQ(eval_str("xor(0, 0)"), 0);
+  EXPECT_EQ(eval_str("xor(12, 12)"), 0);
+  EXPECT_EQ(eval_str("bit(5, 0)"), 1);
+  EXPECT_EQ(eval_str("bit(5, 1)"), 0);
+  EXPECT_EQ(eval_str("bit(5, 2)"), 1);
+  EXPECT_EQ(eval_str("bit(5, 60)"), 0);
+  EXPECT_THROW(eval_str("xor(0 - 1, 2)"), LarcsError);
+  EXPECT_THROW(eval_str("bit(1, 63)"), LarcsError);
+  EXPECT_THROW(eval_str("bit(0 - 1, 0)"), LarcsError);
+}
+
+TEST(Eval, BuiltinErrors) {
+  EXPECT_THROW(eval_str("pow(2, -1)"), LarcsError);
+  EXPECT_THROW(eval_str("log2(0)"), LarcsError);
+  EXPECT_THROW(eval_str("min(1)"), LarcsError);
+  EXPECT_THROW(eval_str("frobnicate(1)"), LarcsError);
+}
+
+TEST(Eval, PowOverflowGuard) {
+  EXPECT_THROW(eval_str("pow(10, 30)"), LarcsError);
+}
+
+TEST(Eval, PaperChordalFormula) {
+  // Fig 2: chordal neighbour of task i is (i + (n+1)/2) mod n; for
+  // n = 15 task 0 sends to task 8 (Fig 6).
+  Env env;
+  env.bind("n", 15);
+  env.bind("i", 0);
+  EXPECT_EQ(eval_str("(i + (n + 1) / 2) mod n", env), 8);
+  env.bind("i", 14);
+  EXPECT_EQ(eval_str("(i + (n + 1) / 2) mod n", env), 7);
+}
+
+}  // namespace
+}  // namespace oregami::larcs

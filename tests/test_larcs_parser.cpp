@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+
+namespace oregami::larcs {
+namespace {
+
+TEST(Parser, MinimalProgram) {
+  const auto p = parse_program(
+      "algorithm tiny(n);\n"
+      "nodetype node[i: 0 .. n-1];\n");
+  EXPECT_EQ(p.name, "tiny");
+  EXPECT_EQ(p.params, std::vector<std::string>{"n"});
+  ASSERT_EQ(p.nodetypes.size(), 1u);
+  EXPECT_EQ(p.nodetypes[0].name, "node");
+  EXPECT_FALSE(p.nodetypes[0].node_symmetric);
+  ASSERT_EQ(p.nodetypes[0].dims.size(), 1u);
+  EXPECT_EQ(p.nodetypes[0].dims[0].binder, "i");
+}
+
+TEST(Parser, NbodyFixtureHasPaperStructure) {
+  const auto p = parse_program(programs::nbody());
+  EXPECT_EQ(p.name, "nbody");
+  EXPECT_EQ(p.params, (std::vector<std::string>{"n", "s"}));
+  EXPECT_EQ(p.imports, std::vector<std::string>{"m"});
+  ASSERT_EQ(p.nodetypes.size(), 1u);
+  EXPECT_TRUE(p.nodetypes[0].node_symmetric);
+  ASSERT_EQ(p.comm_phases.size(), 2u);
+  EXPECT_EQ(p.comm_phases[0].name, "ring");
+  EXPECT_EQ(p.comm_phases[1].name, "chordal");
+  ASSERT_EQ(p.exec_phases.size(), 2u);
+  ASSERT_TRUE(p.phase_expr.has_value());
+  // ((ring; compute1)^((n+1)/2); chordal; compute2)^s
+  EXPECT_EQ(p.phase_expr->kind, PhaseExprNode::Kind::Repeat);
+  EXPECT_EQ(p.phase_expr->children[0].kind, PhaseExprNode::Kind::Seq);
+  EXPECT_EQ(p.phase_expr->children[0].children.size(), 3u);
+}
+
+TEST(Parser, MultiDimNodetypeAndGuards) {
+  const auto p = parse_program(programs::jacobi());
+  ASSERT_EQ(p.nodetypes[0].dims.size(), 2u);
+  ASSERT_EQ(p.comm_phases.size(), 1u);
+  EXPECT_EQ(p.comm_phases[0].rules.size(), 4u);
+  for (const auto& rule : p.comm_phases[0].rules) {
+    EXPECT_NE(rule.guard, nullptr);
+    EXPECT_NE(rule.volume, nullptr);
+    EXPECT_EQ(rule.pattern.size(), 2u);
+    EXPECT_EQ(rule.target.size(), 2u);
+  }
+  EXPECT_EQ(p.family_hint, std::optional<std::string>("mesh"));
+}
+
+TEST(Parser, ForallClause) {
+  const auto p = parse_program(programs::binomial_dnc());
+  const auto& rule = p.comm_phases[0].rules[0];
+  ASSERT_TRUE(rule.forall_binder.has_value());
+  EXPECT_EQ(*rule.forall_binder, "j");
+  EXPECT_NE(rule.forall_lo, nullptr);
+  EXPECT_NE(rule.forall_hi, nullptr);
+}
+
+TEST(Parser, WholeCatalogParses) {
+  for (const auto& entry : programs::catalog()) {
+    EXPECT_NO_THROW((void)parse_program(entry.source))
+        << "program " << entry.name;
+  }
+  EXPECT_NO_THROW((void)parse_program(programs::fft(4)));
+  EXPECT_NO_THROW((void)parse_program(programs::broadcast_vote(16)));
+}
+
+TEST(Parser, PhaseExprPrecedence) {
+  const auto p = parse_program(
+      "algorithm t(n);\n"
+      "nodetype x[i: 0 .. n-1];\n"
+      "comphase a { x(i) -> x((i+1) mod n); }\n"
+      "comphase b { x(i) -> x((i+2) mod n); }\n"
+      "exphase w cost 1;\n"
+      "phases a; b || w; a^2;\n");
+  ASSERT_TRUE(p.phase_expr.has_value());
+  const auto& seq = *p.phase_expr;
+  ASSERT_EQ(seq.kind, PhaseExprNode::Kind::Seq);
+  ASSERT_EQ(seq.children.size(), 3u);
+  EXPECT_EQ(seq.children[0].kind, PhaseExprNode::Kind::Ref);
+  EXPECT_EQ(seq.children[1].kind, PhaseExprNode::Kind::Par);
+  EXPECT_EQ(seq.children[2].kind, PhaseExprNode::Kind::Repeat);
+  EXPECT_EQ(seq.to_string(), "(a; (b || w); a^2)");
+}
+
+TEST(Parser, EpsIsIdle) {
+  const auto p = parse_program(
+      "algorithm t(n);\n"
+      "nodetype x[i: 0 .. n-1];\n"
+      "comphase a { x(i) -> x((i+1) mod n); }\n"
+      "phases eps; a;\n");
+  ASSERT_TRUE(p.phase_expr.has_value());
+  EXPECT_EQ(p.phase_expr->children[0].kind, PhaseExprNode::Kind::Idle);
+}
+
+TEST(Parser, NestedRepeatBindsTightly) {
+  const auto p = parse_program(
+      "algorithm t(n);\n"
+      "nodetype x[i: 0 .. n-1];\n"
+      "comphase a { x(i) -> x((i+1) mod n); }\n"
+      "phases (a^2)^n;\n");
+  const auto& rep = *p.phase_expr;
+  ASSERT_EQ(rep.kind, PhaseExprNode::Kind::Repeat);
+  EXPECT_EQ(rep.children[0].kind, PhaseExprNode::Kind::Repeat);
+}
+
+TEST(Parser, ExpressionPrecedenceAndRendering) {
+  const auto e = parse_expression("1 + 2 * 3 - 4 / 2");
+  // ((1 + (2*3)) - (4/2))
+  EXPECT_EQ(e->to_string(), "((1 + (2 * 3)) - (4 / 2))");
+  const auto cmp = parse_expression("i + 1 < n and not (j == 0)");
+  EXPECT_EQ(cmp->kind, Expr::Kind::Binary);
+  EXPECT_EQ(cmp->bin_op, BinOp::And);
+}
+
+TEST(Parser, CallsParse) {
+  const auto e = parse_expression("pow(2, k) + log2(n)");
+  EXPECT_EQ(e->kind, Expr::Kind::Binary);
+  EXPECT_EQ(e->args[0]->kind, Expr::Kind::Call);
+  EXPECT_EQ(e->args[0]->name, "pow");
+  EXPECT_EQ(e->args[0]->args.size(), 2u);
+}
+
+// --- error cases -----------------------------------------------------------
+
+TEST(ParserErrors, MissingAlgorithmHeader) {
+  EXPECT_THROW((void)parse_program("nodetype x[i: 0 .. 3];"), LarcsError);
+}
+
+TEST(ParserErrors, DuplicatePhaseName) {
+  EXPECT_THROW((void)parse_program(
+                   "algorithm t(n);\n"
+                   "nodetype x[i: 0 .. n-1];\n"
+                   "comphase a { x(i) -> x((i+1) mod n); }\n"
+                   "exphase a cost 1;\n"),
+               LarcsError);
+}
+
+TEST(ParserErrors, UnknownNodetypeInRule) {
+  EXPECT_THROW((void)parse_program(
+                   "algorithm t(n);\n"
+                   "nodetype x[i: 0 .. n-1];\n"
+                   "comphase a { y(i) -> x(i); }\n"),
+               LarcsError);
+}
+
+TEST(ParserErrors, ArityMismatch) {
+  EXPECT_THROW((void)parse_program(
+                   "algorithm t(n);\n"
+                   "nodetype x[i: 0 .. n-1, j: 0 .. n-1];\n"
+                   "comphase a { x(i) -> x(i, i); }\n"),
+               LarcsError);
+  EXPECT_THROW((void)parse_program(
+                   "algorithm t(n);\n"
+                   "nodetype x[i: 0 .. n-1];\n"
+                   "comphase a { x(i) -> x(i, i); }\n"),
+               LarcsError);
+}
+
+TEST(ParserErrors, UnknownPhaseInExpression) {
+  EXPECT_THROW((void)parse_program(
+                   "algorithm t(n);\n"
+                   "nodetype x[i: 0 .. n-1];\n"
+                   "comphase a { x(i) -> x((i+1) mod n); }\n"
+                   "phases a; zz;\n"),
+               LarcsError);
+}
+
+TEST(ParserErrors, DuplicateBinderInPattern) {
+  EXPECT_THROW((void)parse_program(
+                   "algorithm t(n);\n"
+                   "nodetype x[i: 0 .. n-1, j: 0 .. n-1];\n"
+                   "comphase a { x(i, i) -> x(i, i); }\n"),
+               LarcsError);
+}
+
+TEST(ParserErrors, ForallShadowsPattern) {
+  EXPECT_THROW((void)parse_program(
+                   "algorithm t(n);\n"
+                   "nodetype x[i: 0 .. n-1];\n"
+                   "comphase a { x(i) -> x(i + 1) forall i: 0 .. 1; }\n"),
+               LarcsError);
+}
+
+TEST(ParserErrors, NoNodetype) {
+  EXPECT_THROW((void)parse_program("algorithm t(n);\n"), LarcsError);
+}
+
+TEST(ParserErrors, DuplicatePhasesDecl) {
+  EXPECT_THROW((void)parse_program(
+                   "algorithm t(n);\n"
+                   "nodetype x[i: 0 .. n-1];\n"
+                   "comphase a { x(i) -> x((i+1) mod n); }\n"
+                   "phases a;\n"
+                   "phases a;\n"),
+               LarcsError);
+}
+
+TEST(ParserErrors, ReportsLocation) {
+  try {
+    (void)parse_program("algorithm t(n);\nnodetype x[i: 0 .. n-1]\n");
+    FAIL() << "expected LarcsError";
+  } catch (const LarcsError& e) {
+    EXPECT_GE(e.loc().line, 2);
+  }
+}
+
+}  // namespace
+}  // namespace oregami::larcs

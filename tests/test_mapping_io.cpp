@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "oregami/core/mapping_io.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/driver.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+namespace {
+
+struct Fixture {
+  larcs::CompiledProgram cp;
+  Topology topo;
+  MapperReport report;
+
+  Fixture()
+      : cp(larcs::compile_source(larcs::programs::nbody(),
+                                 {{"n", 15}, {"s", 2}, {"m", 4}})),
+        topo(Topology::hypercube(3)),
+        report(map_computation(cp.graph, topo)) {}
+};
+
+TEST(MappingIo, RoundTripPreservesEverything) {
+  const Fixture f;
+  const auto text = mapping_to_string(f.report.mapping, 8);
+  int procs = 0;
+  const Mapping loaded = mapping_from_string(text, &procs);
+  EXPECT_EQ(procs, 8);
+  EXPECT_EQ(loaded.contraction.cluster_of_task,
+            f.report.mapping.contraction.cluster_of_task);
+  EXPECT_EQ(loaded.contraction.num_clusters,
+            f.report.mapping.contraction.num_clusters);
+  EXPECT_EQ(loaded.embedding.proc_of_cluster,
+            f.report.mapping.embedding.proc_of_cluster);
+  ASSERT_EQ(loaded.routing.size(), f.report.mapping.routing.size());
+  for (std::size_t k = 0; k < loaded.routing.size(); ++k) {
+    ASSERT_EQ(loaded.routing[k].route_of_edge.size(),
+              f.report.mapping.routing[k].route_of_edge.size());
+    for (std::size_t i = 0; i < loaded.routing[k].route_of_edge.size();
+         ++i) {
+      EXPECT_EQ(loaded.routing[k].route_of_edge[i].nodes,
+                f.report.mapping.routing[k].route_of_edge[i].nodes);
+      EXPECT_EQ(loaded.routing[k].route_of_edge[i].links,
+                f.report.mapping.routing[k].route_of_edge[i].links);
+    }
+  }
+  // The reloaded mapping still passes full validation.
+  EXPECT_NO_THROW(validate_mapping(loaded, f.cp.graph, f.topo));
+}
+
+TEST(MappingIo, RoundTripIsTextualFixpoint) {
+  const Fixture f;
+  const auto once = mapping_to_string(f.report.mapping, 8);
+  const auto twice = mapping_to_string(mapping_from_string(once), 8);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(MappingIo, RejectsCorruptedHeaders) {
+  const Fixture f;
+  EXPECT_THROW((void)mapping_from_string("garbage"), MappingError);
+  EXPECT_THROW((void)mapping_from_string("oregami-mapping v2\n"),
+               MappingError);
+  EXPECT_THROW((void)mapping_from_string(
+                   "oregami-mapping v1\ntasks -3 clusters 1 procs 1 "
+                   "phases 0\n"),
+               MappingError);
+}
+
+TEST(MappingIo, RejectsOutOfRangeEntries) {
+  const Fixture f;
+  auto text = mapping_to_string(f.report.mapping, 8);
+  // Cluster id beyond the declared count.
+  auto corrupted = text;
+  const auto pos = corrupted.find("contraction ");
+  corrupted.replace(pos + 12, 1, "9");
+  EXPECT_THROW((void)mapping_from_string(corrupted), MappingError);
+}
+
+TEST(MappingIo, RejectsRouteShapeMismatch) {
+  const std::string text =
+      "oregami-mapping v1\n"
+      "tasks 2 clusters 2 procs 2 phases 1\n"
+      "contraction 0 1\n"
+      "embedding 0 1\n"
+      "phase 1\n"
+      "route 2 0 1 0\n";  // 2 nodes but 0 links
+  EXPECT_THROW((void)mapping_from_string(text), MappingError);
+}
+
+TEST(MappingIo, TruncatedFileDetected) {
+  const Fixture f;
+  const auto text = mapping_to_string(f.report.mapping, 8);
+  EXPECT_THROW(
+      (void)mapping_from_string(text.substr(0, text.size() / 2)),
+      MappingError);
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "oregami/graph/matching.hpp"
+#include "oregami/support/rng.hpp"
+
+namespace oregami {
+namespace {
+
+BipartiteGraph random_bipartite(int nl, int nr, double density,
+                                std::uint64_t seed) {
+  BipartiteGraph g(nl, nr);
+  SplitMix64 rng(seed);
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      if (rng.next_double() < density) {
+        g.add_edge(l, r);
+      }
+    }
+  }
+  return g;
+}
+
+TEST(Bipartite, EdgeBookkeeping) {
+  BipartiteGraph g(2, 3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.right_neighbors(0).size(), 1u);
+  EXPECT_EQ(g.right_neighbors(1).size(), 2u);
+}
+
+TEST(GreedyMaximal, PerfectOnDiagonal) {
+  BipartiteGraph g(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    g.add_edge(i, i);
+  }
+  const auto m = greedy_maximal_matching(g);
+  EXPECT_EQ(m.size(), 4);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(GreedyMaximal, CanBeSuboptimal) {
+  // Greedy takes (0,0) first and blocks the perfect matching
+  // {(0,1),(1,0)} ... construct: left 0 adj {0,1}, left 1 adj {0}.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto greedy = greedy_maximal_matching(g);
+  const auto maximum = hopcroft_karp(g);
+  EXPECT_TRUE(is_maximal_matching(g, greedy));
+  EXPECT_EQ(maximum.size(), 2);
+  EXPECT_GE(greedy.size(), 1);
+}
+
+TEST(HopcroftKarp, FindsPerfectMatchingOnCycle) {
+  // Even cycle as bipartite graph: left i adj right i and right i+1.
+  const int n = 6;
+  BipartiteGraph g(n, n);
+  for (int i = 0; i < n; ++i) {
+    g.add_edge(i, i);
+    g.add_edge(i, (i + 1) % n);
+  }
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), n);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+}
+
+TEST(HopcroftKarp, AugmentsThroughAlternatingPath) {
+  // Classic 3x3 requiring augmentation.
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  g.add_edge(2, 2);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size(), 3);
+}
+
+/// Exhaustive max matching by brute force for certification.
+int brute_force_max(const BipartiteGraph& g) {
+  std::vector<int> right_used(static_cast<std::size_t>(g.n_right()), 0);
+  int best = 0;
+  auto rec = [&](auto&& self, int l, int current) -> void {
+    if (l == g.n_left()) {
+      best = std::max(best, current);
+      return;
+    }
+    // Prune: even matching everyone else cannot beat best.
+    if (current + (g.n_left() - l) <= best) {
+      return;
+    }
+    self(self, l + 1, current);
+    for (const int r : g.right_neighbors(l)) {
+      if (right_used[static_cast<std::size_t>(r)] == 0) {
+        right_used[static_cast<std::size_t>(r)] = 1;
+        self(self, l + 1, current + 1);
+        right_used[static_cast<std::size_t>(r)] = 0;
+      }
+    }
+  };
+  rec(rec, 0, 0);
+  return best;
+}
+
+class MatchingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingProperty, HopcroftKarpMatchesBruteForce) {
+  SplitMix64 rng(GetParam());
+  const int nl = static_cast<int>(2 + rng.next_below(7));
+  const int nr = static_cast<int>(2 + rng.next_below(7));
+  const auto g = random_bipartite(nl, nr, 0.4, GetParam() * 7 + 1);
+  const auto m = hopcroft_karp(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  EXPECT_EQ(m.size(), brute_force_max(g));
+}
+
+TEST_P(MatchingProperty, GreedyIsValidMaximalAndHalfOptimal) {
+  SplitMix64 rng(GetParam() + 1000);
+  const int nl = static_cast<int>(2 + rng.next_below(20));
+  const int nr = static_cast<int>(2 + rng.next_below(20));
+  const auto g = random_bipartite(nl, nr, 0.3, GetParam() * 13 + 5);
+  const auto greedy = greedy_maximal_matching(g);
+  const auto maximum = hopcroft_karp(g);
+  EXPECT_TRUE(is_valid_matching(g, greedy));
+  EXPECT_TRUE(is_maximal_matching(g, greedy));
+  EXPECT_GE(2 * greedy.size(), maximum.size());
+  EXPECT_LE(greedy.size(), maximum.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "oregami/arch/routes.hpp"
+#include "oregami/metrics/metrics.hpp"
+
+namespace oregami {
+namespace {
+
+/// 4 tasks on a 4-ring: ring comm phase, one exec phase, placed
+/// directly (task i on processor i).
+struct Fixture {
+  TaskGraph graph;
+  Topology topo = Topology::ring(4);
+  std::vector<int> procs{0, 1, 2, 3};
+  std::vector<PhaseRouting> routing;
+
+  Fixture() {
+    for (int i = 0; i < 4; ++i) {
+      graph.add_task("t" + std::to_string(i));
+    }
+    const int ring = graph.add_comm_phase("ring");
+    for (int i = 0; i < 4; ++i) {
+      graph.add_comm_edge(ring, i, (i + 1) % 4, 3);
+    }
+    graph.add_exec_phase("work", {10, 20, 30, 40});
+    graph.set_phase_expr(PhaseTree::repeat(
+        PhaseTree::seq({PhaseTree::exec(0), PhaseTree::comm(0)}), 2));
+    PhaseRouting pr;
+    for (int i = 0; i < 4; ++i) {
+      pr.route_of_edge.push_back(
+          greedy_shortest_route(topo, i, (i + 1) % 4));
+    }
+    routing.push_back(std::move(pr));
+  }
+};
+
+TEST(CompletionModel, ExecPhaseIsMaxOverProcessors) {
+  const Fixture f;
+  EXPECT_EQ(exec_phase_time(f.graph, 0, f.procs, 4), 40);
+  // Two tasks stacked on one processor add up.
+  const std::vector<int> stacked{0, 1, 2, 2};
+  EXPECT_EQ(exec_phase_time(f.graph, 0, stacked, 4), 30 + 40);
+}
+
+TEST(CompletionModel, CommPhaseCombinesVolumeAndLatency) {
+  const Fixture f;
+  // Each ring link carries exactly one message of volume 3; all routes
+  // are 1 hop: time = 3 * per_unit + 1 * hop_latency.
+  CostModel model;
+  model.hop_latency = 5;
+  model.per_unit_cost = 2;
+  EXPECT_EQ(comm_phase_time(f.graph, 0, f.routing[0], f.topo, model),
+            3 * 2 + 1 * 5);
+}
+
+TEST(CompletionModel, PhaseTreeArithmetic) {
+  const Fixture f;
+  const CostModel model;  // unit costs
+  // exec = 40, comm = 3 + 1 = 4, repeated twice: (40 + 4) * 2.
+  EXPECT_EQ(completion_time(f.graph, f.procs, f.routing, f.topo, model),
+            88);
+}
+
+TEST(CompletionModel, ParallelTakesMax) {
+  Fixture f;
+  f.graph.set_phase_expr(
+      PhaseTree::par({PhaseTree::exec(0), PhaseTree::comm(0)}));
+  EXPECT_EQ(completion_time(f.graph, f.procs, f.routing, f.topo, {}), 40);
+}
+
+TEST(CompletionModel, IdleFallbackSumsEverythingOnce) {
+  Fixture f;
+  f.graph.set_phase_expr(PhaseTree::idle());
+  EXPECT_EQ(completion_time(f.graph, f.procs, f.routing, f.topo, {}),
+            40 + 4);
+}
+
+TEST(Metrics, LoadSide) {
+  const Fixture f;
+  const auto m =
+      compute_metrics(f.graph, f.procs, f.routing, f.topo, {});
+  EXPECT_EQ(m.load.tasks_per_proc, (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_EQ(m.load.max_tasks, 1);
+  EXPECT_DOUBLE_EQ(m.load.avg_tasks, 1.0);
+  // exec multiplicity 2: loads 20, 40, 60, 80.
+  EXPECT_EQ(m.load.exec_per_proc,
+            (std::vector<std::int64_t>{20, 40, 60, 80}));
+  EXPECT_EQ(m.load.max_exec, 80);
+  EXPECT_DOUBLE_EQ(m.load.exec_imbalance, 80.0 * 4 / 200.0);
+}
+
+TEST(Metrics, LinkSide) {
+  const Fixture f;
+  const auto m =
+      compute_metrics(f.graph, f.procs, f.routing, f.topo, {});
+  ASSERT_EQ(m.phases.size(), 1u);
+  const auto& pm = m.phases[0];
+  EXPECT_EQ(pm.phase_name, "ring");
+  EXPECT_EQ(pm.max_contention, 1);
+  EXPECT_DOUBLE_EQ(pm.avg_contention, 1.0);
+  EXPECT_EQ(pm.max_dilation, 1);
+  EXPECT_DOUBLE_EQ(pm.avg_dilation, 1.0);
+  for (const auto v : pm.volume_per_link) {
+    EXPECT_EQ(v, 3);
+  }
+}
+
+TEST(Metrics, TotalIpcWeightedByMultiplicity) {
+  const Fixture f;
+  const auto m =
+      compute_metrics(f.graph, f.procs, f.routing, f.topo, {});
+  // 4 edges x volume 3 x multiplicity 2.
+  EXPECT_EQ(m.total_ipc, 24);
+}
+
+TEST(Metrics, CoLocatedEdgesDoNotCountAsIpc) {
+  Fixture f;
+  // Move task 1 onto processor 0; re-route accordingly.
+  f.procs = {0, 0, 2, 3};
+  f.routing[0].route_of_edge[0] = Route{{0}, {}};  // 0 -> 1 internal
+  f.routing[0].route_of_edge[1] =
+      greedy_shortest_route(f.topo, 0, 2);  // 1 -> 2 now 0 -> 2
+  const auto m =
+      compute_metrics(f.graph, f.procs, f.routing, f.topo, {});
+  // Edge 0->1 internalised: IPC = (4 - 1) edges x 3 x 2.
+  EXPECT_EQ(m.total_ipc, 18);
+  EXPECT_EQ(m.max_dilation, 2);
+}
+
+TEST(Metrics, MappingOverloadAgreesWithVectors) {
+  const Fixture f;
+  Mapping mapping;
+  mapping.contraction = Contraction::identity(4);
+  mapping.embedding.proc_of_cluster = f.procs;
+  mapping.routing = f.routing;
+  const auto a = compute_metrics(f.graph, mapping, f.topo, {});
+  const auto b =
+      compute_metrics(f.graph, f.procs, f.routing, f.topo, {});
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.total_ipc, b.total_ipc);
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/migration.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+namespace {
+
+/// Two phases wanting opposite placements: a ring phase and a
+/// "reversal" phase pairing i with n-1-i. A static mapping cannot make
+/// both local; per-phase migration can.
+TaskGraph conflicting_phases(int n, std::int64_t volume) {
+  TaskGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.add_task("t" + std::to_string(i));
+  }
+  const int ring = g.add_comm_phase("ring");
+  for (int i = 0; i < n; ++i) {
+    g.add_comm_edge(ring, i, (i + 1) % n, volume);
+  }
+  const int rev = g.add_comm_phase("reverse");
+  for (int i = 0; i < n / 2; ++i) {
+    g.add_comm_edge(rev, i, n - 1 - i, volume);
+    g.add_comm_edge(rev, n - 1 - i, i, volume);
+  }
+  g.set_phase_expr(PhaseTree::repeat(
+      PhaseTree::seq({PhaseTree::comm(0), PhaseTree::comm(1)}), 50));
+  return g;
+}
+
+TEST(Linearize, ExpandsRepeatsAndSequences) {
+  TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  const int p0 = g.add_comm_phase("p0");
+  g.add_comm_edge(p0, 0, 1);
+  const int p1 = g.add_comm_phase("p1");
+  g.add_comm_edge(p1, 1, 0);
+  g.add_exec_phase("w", {1, 1});
+  g.set_phase_expr(PhaseTree::repeat(
+      PhaseTree::seq(
+          {PhaseTree::comm(0), PhaseTree::exec(0), PhaseTree::comm(1)}),
+      3));
+  const auto steps = linearize_phase_expr(g, 1000);
+  ASSERT_EQ(steps.size(), 9u);
+  EXPECT_EQ(steps[0], 0);
+  EXPECT_EQ(steps[1], ~0);
+  EXPECT_EQ(steps[2], 1);
+  EXPECT_EQ(steps[3], 0);
+}
+
+TEST(Linearize, IdleFallsBackToAllPhasesOnce) {
+  TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  const int p0 = g.add_comm_phase("p0");
+  g.add_comm_edge(p0, 0, 1);
+  g.add_exec_phase("w", {1, 1});
+  const auto steps = linearize_phase_expr(g, 1000);
+  EXPECT_EQ(steps, (std::vector<int>{0, ~0}));
+}
+
+TEST(Linearize, CapEnforced) {
+  TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  const int p0 = g.add_comm_phase("p0");
+  g.add_comm_edge(p0, 0, 1);
+  g.set_phase_expr(PhaseTree::repeat(PhaseTree::comm(0), 1'000'000));
+  EXPECT_THROW((void)linearize_phase_expr(g, 1000), MappingError);
+}
+
+TEST(Migration, CheapMigrationWinsOnConflictingPhases) {
+  // Heavy messages make the phase-shift penalty dominate the (cheap)
+  // task moves: the reversal phase is free under its own placement but
+  // expensive under any ring-friendly static placement.
+  const auto g = conflicting_phases(16, 200);
+  const auto topo = Topology::ring(8);
+  MigrationConfig config;
+  config.cost_per_task_move = 1;  // cheap moves
+  const auto report = evaluate_phase_migration(g, topo, config);
+  EXPECT_GT(report.migrations, 0);
+  EXPECT_GT(report.task_moves, 0);
+  EXPECT_EQ(report.placement_per_comm_phase.size(), 2u);
+  EXPECT_TRUE(report.migration_wins())
+      << "migrating " << report.migrating_time << " vs static "
+      << report.static_time;
+}
+
+TEST(Migration, ExpensiveMigrationLosesEventually) {
+  const auto g = conflicting_phases(16, 1);  // tiny volumes
+  const auto topo = Topology::ring(8);
+  MigrationConfig config;
+  config.cost_per_task_move = 100'000;  // prohibitive moves
+  const auto report = evaluate_phase_migration(g, topo, config);
+  EXPECT_FALSE(report.migration_wins());
+}
+
+TEST(Migration, NoMigrationWhenPhasesAgree) {
+  // A plain ring workload: every phase wants the same placement, so
+  // after the initial placement there is nothing to move.
+  const auto cp = larcs::compile_source(larcs::programs::ring_pipeline(),
+                                        {{"n", 16}, {"stages", 10}});
+  const auto topo = Topology::ring(8);
+  const auto report = evaluate_phase_migration(cp.graph, topo);
+  EXPECT_EQ(report.task_moves, 0);
+  EXPECT_EQ(report.migrations, 0);
+}
+
+TEST(Migration, PlacementsCoverEveryTaskWithinProcessorRange) {
+  const auto cp = larcs::compile_source(larcs::programs::nbody(),
+                                        {{"n", 16}, {"s", 2}, {"m", 4}});
+  const auto topo = Topology::hypercube(3);
+  const auto report = evaluate_phase_migration(cp.graph, topo);
+  ASSERT_EQ(report.placement_per_comm_phase.size(), 2u);
+  for (const auto& placement : report.placement_per_comm_phase) {
+    ASSERT_EQ(placement.size(), 16u);
+    for (const int p : placement) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 8);
+    }
+  }
+  EXPECT_GT(report.static_time, 0);
+  EXPECT_GT(report.migrating_time, 0);
+}
+
+}  // namespace
+}  // namespace oregami

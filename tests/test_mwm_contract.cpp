@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "oregami/mapper/mwm_contract.hpp"
+#include "oregami/mapper/paper_examples.hpp"
+#include "oregami/support/error.hpp"
+#include "oregami/support/rng.hpp"
+
+namespace oregami {
+namespace {
+
+Graph random_task_graph(int n, double density, std::uint64_t seed,
+                        std::int64_t max_weight = 20) {
+  SplitMix64 rng(seed);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_double() < density) {
+        g.add_edge(u, v, rng.next_in(1, max_weight));
+      }
+    }
+  }
+  return g;
+}
+
+TEST(MwmContract, Fig5TwelveTasksThreeProcessors) {
+  // Paper §4.3 / Fig 5: 12 tasks onto 3 processors with B = 4; greedy
+  // merges pairs (skipping the weight-15 edge), matching finishes;
+  // total IPC = 6, optimal for this instance.
+  const Graph g = paper::fig5_task_graph();
+  const auto result = mwm_contract(g, 3, 4);
+  EXPECT_EQ(result.load_bound, 4);
+  EXPECT_EQ(result.contraction.num_clusters, 3);
+  EXPECT_EQ(result.contraction.max_cluster_size(), 4);
+  EXPECT_EQ(result.external_weight, paper::kFig5OptimalIpc);
+  EXPECT_EQ(result.internalized_weight, g.total_weight() - 6);
+  // Matches the exhaustive optimum.
+  EXPECT_EQ(brute_force_min_external_weight(g, 3, 4), 6);
+  // The contiguous blocks are the unique optimum here.
+  const auto& c = result.contraction.cluster_of_task;
+  EXPECT_EQ(c[0], c[1]);
+  EXPECT_EQ(c[1], c[2]);
+  EXPECT_EQ(c[2], c[3]);
+  EXPECT_EQ(c[4], c[7]);
+  EXPECT_EQ(c[8], c[11]);
+  EXPECT_NE(c[0], c[4]);
+  EXPECT_NE(c[4], c[8]);
+}
+
+TEST(MwmContract, DefaultLoadBoundMatchesFig5) {
+  // B defaults to 2 * ceil(n / 2P) = 4 for 12 tasks on 3 processors.
+  const auto result = mwm_contract(paper::fig5_task_graph(), 3);
+  EXPECT_EQ(result.load_bound, 4);
+  EXPECT_EQ(result.external_weight, paper::kFig5OptimalIpc);
+}
+
+TEST(MwmContract, MatchingPathIsOptimalForPairing) {
+  // n <= 2P: pure maximum-weight-matching contraction; certify against
+  // brute force with B = 2 (pair semantics).
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SplitMix64 rng(seed);
+    const int procs = static_cast<int>(2 + rng.next_below(3));  // 2..4
+    const int n = static_cast<int>(
+        procs + 1 + rng.next_below(static_cast<std::uint64_t>(procs)));
+    const Graph g = random_task_graph(n, 0.5, seed * 31 + 7);
+    const auto result = mwm_contract(g, procs, 2);
+    EXPECT_TRUE(result.optimal);
+    EXPECT_LE(result.contraction.num_clusters, procs);
+    EXPECT_LE(result.contraction.max_cluster_size(), 2);
+    EXPECT_EQ(result.external_weight,
+              brute_force_min_external_weight(g, procs, 2))
+        << "seed " << seed << " n=" << n << " P=" << procs;
+  }
+}
+
+class MwmContractProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MwmContractProperty, RespectsAllConstraints) {
+  SplitMix64 rng(GetParam());
+  const int n = static_cast<int>(8 + rng.next_below(40));
+  const int procs = static_cast<int>(2 + rng.next_below(6));
+  const Graph g = random_task_graph(n, 0.3, GetParam() * 17 + 3);
+  const auto result = mwm_contract(g, procs);
+  EXPECT_LE(result.contraction.num_clusters, procs);
+  EXPECT_LE(result.contraction.max_cluster_size(), result.load_bound);
+  EXPECT_NO_THROW(result.contraction.validate(n));
+  EXPECT_EQ(result.internalized_weight + result.external_weight,
+            g.total_weight());
+  EXPECT_GE(result.internalized_weight, 0);
+}
+
+TEST_P(MwmContractProperty, NeverWorseThanNaiveBlocks) {
+  SplitMix64 rng(GetParam() + 500);
+  const int n = static_cast<int>(10 + rng.next_below(30));
+  const int procs = static_cast<int>(2 + rng.next_below(4));
+  const Graph g = random_task_graph(n, 0.4, GetParam() * 13 + 11);
+  const auto result = mwm_contract(g, procs);
+
+  // Round-robin baseline with the same cluster count.
+  std::vector<int> rr(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    rr[static_cast<std::size_t>(t)] = t % procs;
+  }
+  std::int64_t rr_external = 0;
+  for (const auto& e : g.edges()) {
+    if (rr[static_cast<std::size_t>(e.u)] !=
+        rr[static_cast<std::size_t>(e.v)]) {
+      rr_external += e.weight;
+    }
+  }
+  EXPECT_LE(result.external_weight, rr_external);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MwmContractProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(MwmContract, DisconnectedGraphStillContracts) {
+  Graph g(10);  // no edges at all
+  const auto result = mwm_contract(g, 3);
+  EXPECT_LE(result.contraction.num_clusters, 3);
+  EXPECT_EQ(result.external_weight, 0);
+}
+
+TEST(MwmContract, SingleProcessorInternalisesEverything) {
+  const Graph g = paper::fig5_task_graph();
+  const auto result = mwm_contract(g, 1, 12);
+  EXPECT_EQ(result.contraction.num_clusters, 1);
+  EXPECT_EQ(result.external_weight, 0);
+  EXPECT_EQ(result.internalized_weight, g.total_weight());
+}
+
+TEST(MwmContract, InfeasibleBoundThrows) {
+  const Graph g = random_task_graph(10, 0.5, 1);
+  EXPECT_THROW((void)mwm_contract(g, 3, 2), MappingError);  // 3*2 < 10
+  EXPECT_THROW((void)mwm_contract(g, 0), MappingError);
+  EXPECT_THROW((void)mwm_contract(Graph(0), 2), MappingError);
+}
+
+TEST(MwmContract, TasksFewerThanProcessors) {
+  const Graph g = random_task_graph(4, 0.8, 9);
+  const auto result = mwm_contract(g, 8, 1);  // B = 1: no merging at all
+  EXPECT_EQ(result.contraction.num_clusters, 4);
+  EXPECT_EQ(result.external_weight, g.total_weight());
+}
+
+TEST(MwmContract, GreedyDescriptionMentionsPhases) {
+  const Graph g = random_task_graph(30, 0.3, 2);
+  const auto result = mwm_contract(g, 3);
+  EXPECT_FALSE(result.optimal);
+  EXPECT_NE(result.description.find("greedy"), std::string::npos);
+  EXPECT_NE(result.description.find("matching"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oregami

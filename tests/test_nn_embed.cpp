@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "oregami/mapper/baselines.hpp"
+#include "oregami/mapper/nn_embed.hpp"
+#include "oregami/support/error.hpp"
+#include "oregami/support/rng.hpp"
+
+namespace oregami {
+namespace {
+
+Graph weighted_ring(int n, std::int64_t w = 5) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    g.add_edge(i, (i + 1) % n, w);
+  }
+  return g;
+}
+
+TEST(NnEmbed, RejectsTooManyClusters) {
+  EXPECT_THROW((void)nn_embed(Graph(5), Topology::ring(4)), MappingError);
+}
+
+TEST(NnEmbed, EmptyClusterGraph) {
+  const auto e = nn_embed(Graph(0), Topology::ring(4));
+  EXPECT_TRUE(e.proc_of_cluster.empty());
+}
+
+TEST(NnEmbed, NoCommunicationFillsInOrder) {
+  const auto e = nn_embed(Graph(3), Topology::ring(5));
+  EXPECT_EQ(e.proc_of_cluster, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(NnEmbed, HeaviestPairPlacedAdjacent) {
+  Graph g(4);
+  g.add_edge(0, 1, 100);
+  g.add_edge(2, 3, 1);
+  const auto topo = Topology::mesh(2, 2);
+  const auto e = nn_embed(g, topo);
+  EXPECT_EQ(topo.distance(e.proc_of_cluster[0], e.proc_of_cluster[1]), 1);
+}
+
+TEST(NnEmbed, IsValidInjection) {
+  SplitMix64 rng(3);
+  Graph g(8);
+  for (int u = 0; u < 8; ++u) {
+    for (int v = u + 1; v < 8; ++v) {
+      if (rng.next_double() < 0.4) {
+        g.add_edge(u, v, rng.next_in(1, 9));
+      }
+    }
+  }
+  const auto topo = Topology::hypercube(3);
+  const auto e = nn_embed(g, topo);
+  EXPECT_NO_THROW(e.validate(topo.num_procs()));
+}
+
+TEST(NnEmbed, DeterministicAcrossCalls) {
+  const Graph g = weighted_ring(6);
+  const auto topo = Topology::mesh(2, 3);
+  const auto a = nn_embed(g, topo);
+  const auto b = nn_embed(g, topo);
+  EXPECT_EQ(a.proc_of_cluster, b.proc_of_cluster);
+}
+
+TEST(NnEmbed, BeatsRandomEmbeddingOnWeightedDilation) {
+  // NN-Embed's greedy objective should comfortably beat the median
+  // random embedding on a structured cluster graph.
+  const Graph g = weighted_ring(12);
+  const auto topo = Topology::mesh(3, 4);
+  const auto greedy = nn_embed(g, topo);
+  const auto greedy_cost = weighted_dilation(g, greedy, topo);
+  int wins = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto random = random_embedding(12, topo, seed);
+    if (greedy_cost <= weighted_dilation(g, random, topo)) {
+      ++wins;
+    }
+  }
+  EXPECT_GE(wins, 8);
+}
+
+TEST(NnEmbed, RingClusterGraphOntoRingNearPerfect) {
+  const Graph g = weighted_ring(8);
+  const auto topo = Topology::ring(8);
+  const auto e = nn_embed(g, topo);
+  // Perfect embedding costs 8 edges x weight 5 x distance 1 = 40;
+  // greedy may lose a little but must stay well under 2x.
+  EXPECT_LE(weighted_dilation(g, e, topo), 80);
+}
+
+TEST(WeightedDilation, ComputesSum) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 3);
+  Embedding e;
+  e.proc_of_cluster = {0, 2, 4};  // on a 5-ring: distances 2 and 2
+  const auto topo = Topology::ring(5);
+  EXPECT_EQ(weighted_dilation(g, e, topo), 2 * 2 + 3 * 2);
+}
+
+// --- baselines used by the benches ----------------------------------------
+
+TEST(Baselines, RoundRobinAndBlockContraction) {
+  const auto rr = round_robin_contraction(10, 3);
+  EXPECT_EQ(rr.num_clusters, 3);
+  EXPECT_EQ(rr.cluster_of_task[4], 1);
+  EXPECT_NO_THROW(rr.validate(10));
+
+  const auto blocks = block_contraction(10, 3);
+  EXPECT_EQ(blocks.num_clusters, 3);
+  EXPECT_EQ(blocks.cluster_of_task[0], 0);
+  EXPECT_EQ(blocks.cluster_of_task[9], 2);
+  EXPECT_NO_THROW(blocks.validate(10));
+}
+
+TEST(Baselines, RandomEmbeddingIsInjective) {
+  const auto topo = Topology::mesh(3, 3);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto e = random_embedding(7, topo, seed);
+    EXPECT_NO_THROW(e.validate(9));
+  }
+}
+
+TEST(Baselines, IdentityEmbedding) {
+  const auto e = identity_embedding(4);
+  EXPECT_EQ(e.proc_of_cluster, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "oregami/mapper/driver.hpp"
+#include "oregami/mapper/mwm_contract.hpp"
+#include "oregami/mapper/refine.hpp"
+#include "oregami/support/rng.hpp"
+
+namespace oregami {
+namespace {
+
+Graph random_graph(int n, double density, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_double() < density) {
+        g.add_edge(u, v, rng.next_in(1, 20));
+      }
+    }
+  }
+  return g;
+}
+
+std::int64_t external(const Graph& g, const Contraction& c) {
+  std::int64_t total = 0;
+  for (const auto& e : g.edges()) {
+    if (c.cluster_of_task[static_cast<std::size_t>(e.u)] !=
+        c.cluster_of_task[static_cast<std::size_t>(e.v)]) {
+      total += e.weight;
+    }
+  }
+  return total;
+}
+
+TEST(Refine, FixesDeliberatelyBadAssignment) {
+  // Two weight-heavy cliques split the wrong way: refinement must
+  // recover the natural bipartition.
+  Graph g(8);
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) {
+      g.add_edge(u, v, 10);
+      g.add_edge(u + 4, v + 4, 10);
+    }
+  }
+  g.add_edge(0, 4, 1);  // weak bridge
+  Contraction bad;
+  bad.num_clusters = 2;
+  bad.cluster_of_task = {0, 1, 0, 1, 0, 1, 0, 1};  // interleaved: awful
+  const auto before = external(g, bad);
+  const auto result = refine_contraction(g, bad, 4);
+  EXPECT_EQ(result.external_before, before);
+  EXPECT_EQ(result.external_after, 1);  // only the bridge remains
+  EXPECT_GT(result.moves + result.swaps, 0);
+}
+
+TEST(Refine, RespectsLoadBoundAndClusterCount) {
+  const Graph g = random_graph(20, 0.3, 3);
+  const auto base = mwm_contract(g, 4);
+  const auto result =
+      refine_contraction(g, base.contraction, base.load_bound);
+  EXPECT_EQ(result.contraction.num_clusters,
+            base.contraction.num_clusters);
+  EXPECT_LE(result.contraction.max_cluster_size(), base.load_bound);
+  EXPECT_NO_THROW(result.contraction.validate(20));
+}
+
+class RefineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RefineProperty, NeverWorsensAndIsIdempotentAtFixpoint) {
+  SplitMix64 rng(GetParam());
+  const int n = static_cast<int>(10 + rng.next_below(30));
+  const int procs = static_cast<int>(2 + rng.next_below(5));
+  const Graph g = random_graph(n, 0.35, GetParam() * 31 + 5);
+  const auto base = mwm_contract(g, procs);
+  const auto once =
+      refine_contraction(g, base.contraction, base.load_bound);
+  EXPECT_LE(once.external_after, once.external_before);
+  EXPECT_EQ(once.external_after, external(g, once.contraction));
+  // Running again from the fixpoint changes nothing.
+  const auto twice =
+      refine_contraction(g, once.contraction, base.load_bound);
+  EXPECT_EQ(twice.external_after, once.external_after);
+  EXPECT_EQ(twice.moves + twice.swaps, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Refine, DriverOptionAppliesIt) {
+  TaskGraph tg;
+  SplitMix64 rng(9);
+  for (int i = 0; i < 20; ++i) {
+    tg.add_task("t" + std::to_string(i));
+  }
+  const int p = tg.add_comm_phase("p");
+  for (int u = 0; u < 20; ++u) {
+    for (int v = u + 1; v < 20; ++v) {
+      if (rng.next_double() < 0.3) {
+        tg.add_comm_edge(p, u, v, rng.next_in(1, 9));
+      }
+    }
+  }
+  MapperOptions options;
+  options.refine = true;
+  const auto report =
+      map_computation(tg, Topology::mesh(2, 3), options);
+  EXPECT_EQ(report.strategy, MapStrategy::General);
+  EXPECT_NE(report.details.find("KL refinement"), std::string::npos);
+
+  // Refined mapping never has higher IPC than the unrefined one.
+  MapperOptions plain;
+  const auto base = map_computation(tg, Topology::mesh(2, 3), plain);
+  const Graph agg = tg.aggregate_graph();
+  EXPECT_LE(external(agg, report.mapping.contraction),
+            external(agg, base.mapping.contraction));
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "oregami/arch/routes.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+namespace {
+
+TEST(NextHop, ChoicesOnHypercube) {
+  const auto t = Topology::hypercube(3);
+  // 0 -> 7: any of the three bit flips starts a shortest path.
+  EXPECT_EQ(next_hop_choices(t, 0, 7), (std::vector<int>{1, 2, 4}));
+  // 0 -> 1: only the single bit flip.
+  EXPECT_EQ(next_hop_choices(t, 0, 1), (std::vector<int>{1}));
+  EXPECT_TRUE(next_hop_choices(t, 5, 5).empty());
+}
+
+TEST(NextHop, ChoicesOnMeshInterior) {
+  const auto t = Topology::mesh(3, 3);
+  // (0,0) -> (2,2): east and south both shorten.
+  const auto choices = next_hop_choices(t, t.at2d(0, 0), t.at2d(2, 2));
+  EXPECT_EQ(choices.size(), 2u);
+}
+
+TEST(AllShortestRoutes, CountOnHypercube) {
+  const auto t = Topology::hypercube(3);
+  // Distance-3 pair: 3! = 6 shortest routes.
+  const auto routes = all_shortest_routes(t, 0, 7);
+  EXPECT_EQ(routes.size(), 6u);
+  for (const auto& r : routes) {
+    EXPECT_TRUE(is_shortest_route(t, r, 0, 7));
+  }
+  EXPECT_EQ(count_shortest_routes(t, 0, 7), 6u);
+}
+
+TEST(AllShortestRoutes, LimitIsRespected) {
+  const auto t = Topology::hypercube(4);
+  const auto routes = all_shortest_routes(t, 0, 15, 5);
+  EXPECT_EQ(routes.size(), 5u);
+  EXPECT_EQ(count_shortest_routes(t, 0, 15), 24u);  // 4!
+}
+
+TEST(AllShortestRoutes, MeshBinomialCount) {
+  const auto t = Topology::mesh(3, 3);
+  // (0,0)->(2,2): C(4,2) = 6 monotone lattice paths.
+  EXPECT_EQ(count_shortest_routes(t, t.at2d(0, 0), t.at2d(2, 2)), 6u);
+}
+
+TEST(AllShortestRoutes, TrivialRouteForSameNode) {
+  const auto t = Topology::ring(5);
+  const auto routes = all_shortest_routes(t, 2, 2);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].hops(), 0);
+  EXPECT_EQ(routes[0].nodes, std::vector<int>{2});
+}
+
+TEST(GreedyRoute, IsShortest) {
+  const auto t = Topology::torus(4, 4);
+  for (int u = 0; u < 16; ++u) {
+    for (int v = 0; v < 16; ++v) {
+      const auto r = greedy_shortest_route(t, u, v);
+      EXPECT_TRUE(is_shortest_route(t, r, u, v));
+    }
+  }
+}
+
+TEST(DimensionOrder, HypercubeAscendingBits) {
+  const auto t = Topology::hypercube(3);
+  const auto r = dimension_order_route(t, 1, 6);  // 001 -> 110
+  // Corrections ascending: flip bit0 (->000), bit1 (->010), bit2 (->110).
+  EXPECT_EQ(r.nodes, (std::vector<int>{1, 0, 2, 6}));
+  EXPECT_TRUE(is_shortest_route(t, r, 1, 6));
+}
+
+TEST(DimensionOrder, MeshColumnFirst) {
+  const auto t = Topology::mesh(3, 3);
+  const auto r = dimension_order_route(t, t.at2d(0, 0), t.at2d(2, 2));
+  // Column to 2 first, then rows.
+  EXPECT_EQ(r.nodes,
+            (std::vector<int>{t.at2d(0, 0), t.at2d(0, 1), t.at2d(0, 2),
+                              t.at2d(1, 2), t.at2d(2, 2)}));
+}
+
+TEST(DimensionOrder, TorusTakesShortWrap) {
+  const auto t = Topology::torus(5, 5);
+  const auto r = dimension_order_route(t, t.at2d(0, 0), t.at2d(0, 4));
+  EXPECT_EQ(r.hops(), 1);  // wraps backwards
+}
+
+TEST(DimensionOrder, RingAndChain) {
+  const auto ring = Topology::ring(6);
+  EXPECT_EQ(dimension_order_route(ring, 5, 1).hops(), 2);
+  const auto chain = Topology::chain(6);
+  EXPECT_EQ(dimension_order_route(chain, 4, 1).hops(), 3);
+}
+
+TEST(DimensionOrder, UnsupportedFamilyThrows) {
+  const auto t = Topology::star(5);
+  EXPECT_THROW((void)dimension_order_route(t, 1, 2), MappingError);
+}
+
+TEST(RouteFromNodes, RejectsNonAdjacentSteps) {
+  const auto t = Topology::ring(6);
+  EXPECT_THROW((void)route_from_nodes(t, {0, 2}), MappingError);
+  const auto r = route_from_nodes(t, {0, 1, 2});
+  EXPECT_EQ(r.links.size(), 2u);
+}
+
+TEST(RouteValidity, ChecksEndpointsAndLinks) {
+  const auto t = Topology::ring(6);
+  auto r = route_from_nodes(t, {0, 1, 2});
+  EXPECT_TRUE(is_valid_route(t, r, 0, 2));
+  EXPECT_FALSE(is_valid_route(t, r, 0, 3));
+  EXPECT_FALSE(is_valid_route(t, r, 1, 2));
+  // Tamper with a link id.
+  r.links[0] = r.links[0] == 0 ? 1 : 0;
+  EXPECT_FALSE(is_valid_route(t, r, 0, 2));
+}
+
+TEST(RouteValidity, NonShortestDetected) {
+  const auto t = Topology::ring(6);
+  const auto r = route_from_nodes(t, {0, 5, 4, 3});  // 3 hops backwards
+  EXPECT_TRUE(is_valid_route(t, r, 0, 3));
+  EXPECT_TRUE(is_shortest_route(t, r, 0, 3));  // both directions are 3
+  const auto longer = route_from_nodes(t, {0, 1, 2, 3, 4});
+  EXPECT_FALSE(is_shortest_route(t, longer, 0, 4));
+}
+
+}  // namespace
+}  // namespace oregami

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/systolic.hpp"
+
+namespace oregami {
+namespace {
+
+using larcs::compile;
+using larcs::parse_program;
+
+TEST(Systolic, MatmulSynthesis) {
+  const auto ast = parse_program(larcs::programs::matmul_systolic());
+  const auto cp = compile(ast, {{"n", 4}});
+  const auto m = systolic_map(ast, cp);
+  ASSERT_TRUE(m.has_value());
+  // Dependences (1,0,0), (0,1,0), (0,0,1): the classic schedule is
+  // lambda = (1,1,1) with makespan 3(n-1)+1 = 10.
+  EXPECT_EQ(m->schedule, (std::vector<long>{1, 1, 1}));
+  EXPECT_EQ(m->makespan, 10);
+  // Projection along one axis: n^2 = 16 PEs.
+  EXPECT_EQ(m->contraction.num_clusters, 16);
+  EXPECT_EQ(m->pe_extent, (std::vector<long>{4, 4}));
+  EXPECT_EQ(m->contraction.max_cluster_size(), 4);
+}
+
+TEST(Systolic, ScheduleRespectsDependences) {
+  const auto ast = parse_program(larcs::programs::matmul_systolic());
+  const auto cp = compile(ast, {{"n", 3}});
+  const auto m = systolic_map(ast, cp);
+  ASSERT_TRUE(m.has_value());
+  // Every comm edge must advance time by at least one step.
+  for (const auto& phase : cp.graph.comm_phases()) {
+    for (const auto& e : phase.edges) {
+      const long ts = m->time_of(cp.graph.task_label(e.src));
+      const long td = m->time_of(cp.graph.task_label(e.dst));
+      EXPECT_GE(td - ts, 1);
+    }
+  }
+}
+
+TEST(Systolic, NoTimeCollisionOnAnyPe) {
+  const auto ast = parse_program(larcs::programs::matmul_systolic());
+  const auto cp = compile(ast, {{"n", 3}});
+  const auto m = systolic_map(ast, cp);
+  ASSERT_TRUE(m.has_value());
+  std::set<std::pair<int, long>> seen;
+  for (int t = 0; t < cp.graph.num_tasks(); ++t) {
+    const int pe =
+        m->contraction.cluster_of_task[static_cast<std::size_t>(t)];
+    const long time = m->time_of(cp.graph.task_label(t));
+    EXPECT_GE(time, 0);
+    EXPECT_LT(time, m->makespan);
+    EXPECT_TRUE(seen.insert({pe, time}).second)
+        << "two tasks share PE " << pe << " at step " << time;
+  }
+}
+
+TEST(Systolic, JacobiBidirectionalStencilHasNoSchedule) {
+  // Jacobi passes the syntactic affine checks but its dependences run
+  // in both directions of each axis ((1,0) and (-1,0)), so no linear
+  // schedule exists; the mapper must fall through to another strategy.
+  const auto ast = parse_program(larcs::programs::jacobi());
+  const auto cp = compile(ast, {{"n", 4}, {"iters", 1}});
+  EXPECT_FALSE(systolic_map(ast, cp).has_value());
+}
+
+TEST(Systolic, TwoDimensionalWavefront) {
+  const auto ast = parse_program(
+      "algorithm wave(n);\n"
+      "nodetype x[i: 0 .. n-1, j: 0 .. n-1];\n"
+      "comphase flow {\n"
+      "  x(i, j) -> x(i + 1, j) when i < n - 1;\n"
+      "  x(i, j) -> x(i, j + 1) when j < n - 1;\n"
+      "}\n");
+  const auto cp = compile(ast, {{"n", 5}});
+  const auto m = systolic_map(ast, cp);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->schedule, (std::vector<long>{1, 1}));
+  EXPECT_EQ(m->makespan, 9);  // 2(n-1) + 1
+  // Projection along one axis: a 5-PE linear array.
+  EXPECT_EQ(m->contraction.num_clusters, 5);
+  EXPECT_EQ(m->pe_extent, std::vector<long>{5});
+}
+
+TEST(Systolic, NonAffineProgramRejected) {
+  const auto ast = parse_program(larcs::programs::nbody());
+  const auto cp = compile(ast, {{"n", 15}, {"s", 1}, {"m", 1}});
+  EXPECT_FALSE(systolic_map(ast, cp).has_value());
+}
+
+TEST(Systolic, ContradictoryDependencesInfeasible) {
+  // i -> i+1 and i -> i-1 in the same direction admit no schedule.
+  const auto ast = parse_program(
+      "algorithm t(n);\n"
+      "nodetype x[i: 0 .. n-1];\n"
+      "comphase fwd { x(i) -> x(i + 1) when i < n - 1; }\n"
+      "comphase bwd { x(i) -> x(i - 1) when i > 0; }\n");
+  const auto cp = compile(ast, {{"n", 6}});
+  EXPECT_FALSE(systolic_map(ast, cp).has_value());
+}
+
+TEST(Systolic, OneDimensionalPipeline) {
+  const auto ast = parse_program(
+      "algorithm t(n);\n"
+      "nodetype x[i: 0 .. n-1];\n"
+      "comphase fwd { x(i) -> x(i + 1) when i < n - 1; }\n");
+  const auto cp = compile(ast, {{"n", 8}});
+  const auto m = systolic_map(ast, cp);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->schedule, std::vector<long>{1});
+  EXPECT_EQ(m->makespan, 8);
+  EXPECT_EQ(m->contraction.num_clusters, 1);  // projection along i
+}
+
+TEST(Systolic, DescriptionMentionsScheduleAndPes) {
+  const auto ast = parse_program(larcs::programs::matmul_systolic());
+  const auto cp = compile(ast, {{"n", 4}});
+  const auto m = systolic_map(ast, cp);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->description.find("lambda"), std::string::npos);
+  EXPECT_NE(m->description.find("PEs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oregami

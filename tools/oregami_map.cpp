@@ -1,0 +1,241 @@
+// oregami_map -- command-line front end for the OREGAMI pipeline.
+//
+//   oregami_map --program nbody --bind n=15 --bind s=4 --bind m=8 \
+//               --topology hypercube:3 --ascii --links
+//   oregami_map --larcs samples/jacobi.larcs --bind n=8 --bind iters=10 \
+//               --topology mesh:4x4 --simulate --directives
+//   oregami_map --list-programs
+//
+// Outputs the MAPPER strategy, the METRICS summary, and optionally the
+// assignment layout (--ascii), per-link tables (--links), Graphviz DOT
+// (--dot), the discrete-event simulation cross-check (--simulate) and
+// per-processor scheduling directives (--directives).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "oregami/arch/topology_spec.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/mapper/driver.hpp"
+#include "oregami/metrics/metrics.hpp"
+#include "oregami/metrics/render.hpp"
+#include "oregami/schedule/synchrony.hpp"
+#include "oregami/sim/network_sim.hpp"
+
+namespace {
+
+using namespace oregami;
+
+struct Options {
+  std::optional<std::string> larcs_file;
+  std::optional<std::string> program_name;
+  std::map<std::string, long> bindings;
+  std::optional<std::string> topology_spec;
+  bool list_programs = false;
+  bool ascii = false;
+  bool dot = false;
+  bool links = false;
+  bool simulate_flag = false;
+  bool directives = false;
+  MapperOptions mapper;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --program NAME         pick a built-in LaRCS program\n"
+      << "  --larcs FILE           read a LaRCS source file\n"
+      << "  --bind NAME=VALUE      bind an algorithm parameter/import\n"
+      << "  --topology SPEC        target architecture\n"
+      << "  --list-programs        list the built-in corpus and exit\n"
+      << "  --ascii                print the placement layout\n"
+      << "  --links                print per-phase link tables\n"
+      << "  --dot                  print Graphviz DOT of the task graph\n"
+      << "  --simulate             run the discrete-event cross-check\n"
+      << "  --directives           print per-processor schedules\n"
+      << "  --no-canned | --no-group | --no-systolic\n"
+      << "                         disable a MAPPER strategy\n"
+      << topology_spec_help() << "\n";
+  return 2;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs an argument\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--program") {
+      if (auto v = next()) {
+        options.program_name = *v;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--larcs") {
+      if (auto v = next()) {
+        options.larcs_file = *v;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--bind") {
+      const auto v = next();
+      if (!v) {
+        return std::nullopt;
+      }
+      const auto eq = v->find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--bind expects NAME=VALUE, got '" << *v << "'\n";
+        return std::nullopt;
+      }
+      try {
+        options.bindings[v->substr(0, eq)] = std::stol(v->substr(eq + 1));
+      } catch (const std::exception&) {
+        std::cerr << "bad --bind value in '" << *v << "'\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--topology") {
+      if (auto v = next()) {
+        options.topology_spec = *v;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--list-programs") {
+      options.list_programs = true;
+    } else if (arg == "--ascii") {
+      options.ascii = true;
+    } else if (arg == "--dot") {
+      options.dot = true;
+    } else if (arg == "--links") {
+      options.links = true;
+    } else if (arg == "--simulate") {
+      options.simulate_flag = true;
+    } else if (arg == "--directives") {
+      options.directives = true;
+    } else if (arg == "--no-canned") {
+      options.mapper.allow_canned = false;
+    } else if (arg == "--no-group") {
+      options.mapper.allow_group = false;
+    } else if (arg == "--no-systolic") {
+      options.mapper.allow_systolic = false;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse_args(argc, argv);
+  if (!parsed) {
+    return usage(argv[0]);
+  }
+  const Options& options = *parsed;
+
+  if (options.list_programs) {
+    for (const auto& entry : larcs::programs::catalog()) {
+      std::string binds;
+      for (const auto& [name, value] : entry.example_bindings) {
+        binds += " --bind " + name + "=" + std::to_string(value);
+      }
+      std::cout << entry.name << binds << "\n";
+    }
+    return 0;
+  }
+  if ((!options.larcs_file && !options.program_name) ||
+      !options.topology_spec) {
+    return usage(argv[0]);
+  }
+
+  try {
+    // Source.
+    std::string source;
+    if (options.larcs_file) {
+      std::ifstream in(*options.larcs_file);
+      if (!in) {
+        std::cerr << "cannot open '" << *options.larcs_file << "'\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    } else {
+      bool found = false;
+      for (const auto& entry : larcs::programs::catalog()) {
+        if (entry.name == *options.program_name) {
+          source = entry.source;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::cerr << "unknown program '" << *options.program_name
+                  << "' (see --list-programs)\n";
+        return 1;
+      }
+    }
+
+    // Compile, map, measure.
+    const auto ast = larcs::parse_program(source);
+    const auto compiled = larcs::compile(ast, options.bindings);
+    const Topology topo = parse_topology_spec(*options.topology_spec);
+    const MapperReport report =
+        map_program(ast, compiled, topo, options.mapper);
+    const auto& graph = compiled.graph;
+    const auto procs = report.mapping.proc_of_task();
+    const auto metrics = compute_metrics(graph, report.mapping, topo);
+
+    std::cout << "algorithm: " << ast.name << "  (" << graph.num_tasks()
+              << " tasks, " << graph.num_comm_edges() << " comm edges)\n"
+              << "network:   " << topo.name() << "  (" << topo.num_procs()
+              << " processors, " << topo.num_links() << " links)\n"
+              << "strategy:  " << to_string(report.strategy) << "\n"
+              << "           " << report.details << "\n\n"
+              << render_summary(metrics) << "\n";
+
+    if (options.ascii) {
+      std::cout << "placement:\n"
+                << render_ascii_layout(graph, procs, topo) << "\n";
+    }
+    if (options.links) {
+      std::cout << render_link_table(metrics, topo) << "\n";
+    }
+    if (options.simulate_flag) {
+      const SimResult sim =
+          simulate(graph, procs, report.mapping.routing, topo);
+      std::cout << "discrete-event simulation: " << sim.total_cycles
+                << " cycles (analytic model: " << metrics.completion
+                << ")\n\n";
+    }
+    if (options.directives) {
+      const auto schedule =
+          derive_synchrony_sets(graph, procs, topo.num_procs());
+      std::cout << "per-processor scheduling directives:\n";
+      for (int p = 0; p < topo.num_procs(); ++p) {
+        std::cout << "  proc " << p << ": "
+                  << local_directive(graph, schedule, p) << "\n";
+      }
+      std::cout << "\n";
+    }
+    if (options.dot) {
+      std::cout << render_task_graph_dot(graph);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
