@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_binomial_mesh_dilation"
+  "../bench/bench_binomial_mesh_dilation.pdb"
+  "CMakeFiles/bench_binomial_mesh_dilation.dir/bench_binomial_mesh_dilation.cpp.o"
+  "CMakeFiles/bench_binomial_mesh_dilation.dir/bench_binomial_mesh_dilation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binomial_mesh_dilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_binomial_mesh_dilation.
+# This may be replaced when dependencies are built.

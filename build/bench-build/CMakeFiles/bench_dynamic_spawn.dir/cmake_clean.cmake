@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dynamic_spawn"
+  "../bench/bench_dynamic_spawn.pdb"
+  "CMakeFiles/bench_dynamic_spawn.dir/bench_dynamic_spawn.cpp.o"
+  "CMakeFiles/bench_dynamic_spawn.dir/bench_dynamic_spawn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_nbody_larcs"
+  "../bench/bench_fig2_nbody_larcs.pdb"
+  "CMakeFiles/bench_fig2_nbody_larcs.dir/bench_fig2_nbody_larcs.cpp.o"
+  "CMakeFiles/bench_fig2_nbody_larcs.dir/bench_fig2_nbody_larcs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nbody_larcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_group_contraction"
+  "../bench/bench_fig4_group_contraction.pdb"
+  "CMakeFiles/bench_fig4_group_contraction.dir/bench_fig4_group_contraction.cpp.o"
+  "CMakeFiles/bench_fig4_group_contraction.dir/bench_fig4_group_contraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_group_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_mwm_contract"
+  "../bench/bench_fig5_mwm_contract.pdb"
+  "CMakeFiles/bench_fig5_mwm_contract.dir/bench_fig5_mwm_contract.cpp.o"
+  "CMakeFiles/bench_fig5_mwm_contract.dir/bench_fig5_mwm_contract.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mwm_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_mm_route"
+  "../bench/bench_fig6_mm_route.pdb"
+  "CMakeFiles/bench_fig6_mm_route.dir/bench_fig6_mm_route.cpp.o"
+  "CMakeFiles/bench_fig6_mm_route.dir/bench_fig6_mm_route.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mm_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_larcs_compactness"
+  "../bench/bench_larcs_compactness.pdb"
+  "CMakeFiles/bench_larcs_compactness.dir/bench_larcs_compactness.cpp.o"
+  "CMakeFiles/bench_larcs_compactness.dir/bench_larcs_compactness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_larcs_compactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

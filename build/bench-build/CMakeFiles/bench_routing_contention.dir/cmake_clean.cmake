@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_routing_contention"
+  "../bench/bench_routing_contention.pdb"
+  "CMakeFiles/bench_routing_contention.dir/bench_routing_contention.cpp.o"
+  "CMakeFiles/bench_routing_contention.dir/bench_routing_contention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divide_conquer_mesh.dir/divide_conquer_mesh.cpp.o"
+  "CMakeFiles/divide_conquer_mesh.dir/divide_conquer_mesh.cpp.o.d"
+  "divide_conquer_mesh"
+  "divide_conquer_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divide_conquer_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

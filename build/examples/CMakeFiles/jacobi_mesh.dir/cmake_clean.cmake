@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_mesh.dir/jacobi_mesh.cpp.o"
+  "CMakeFiles/jacobi_mesh.dir/jacobi_mesh.cpp.o.d"
+  "jacobi_mesh"
+  "jacobi_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

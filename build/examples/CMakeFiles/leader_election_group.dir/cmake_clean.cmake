@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_election_group.dir/leader_election_group.cpp.o"
+  "CMakeFiles/leader_election_group.dir/leader_election_group.cpp.o.d"
+  "leader_election_group"
+  "leader_election_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_election_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_hypercube.dir/nbody_hypercube.cpp.o"
+  "CMakeFiles/nbody_hypercube.dir/nbody_hypercube.cpp.o.d"
+  "nbody_hypercube"
+  "nbody_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

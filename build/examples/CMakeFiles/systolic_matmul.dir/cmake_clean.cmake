@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_matmul.dir/systolic_matmul.cpp.o"
+  "CMakeFiles/systolic_matmul.dir/systolic_matmul.cpp.o.d"
+  "systolic_matmul"
+  "systolic_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oregami/arch/cayley_topology.cpp" "src/CMakeFiles/oregami_arch.dir/oregami/arch/cayley_topology.cpp.o" "gcc" "src/CMakeFiles/oregami_arch.dir/oregami/arch/cayley_topology.cpp.o.d"
+  "/root/repo/src/oregami/arch/routes.cpp" "src/CMakeFiles/oregami_arch.dir/oregami/arch/routes.cpp.o" "gcc" "src/CMakeFiles/oregami_arch.dir/oregami/arch/routes.cpp.o.d"
+  "/root/repo/src/oregami/arch/topology.cpp" "src/CMakeFiles/oregami_arch.dir/oregami/arch/topology.cpp.o" "gcc" "src/CMakeFiles/oregami_arch.dir/oregami/arch/topology.cpp.o.d"
+  "/root/repo/src/oregami/arch/topology_spec.cpp" "src/CMakeFiles/oregami_arch.dir/oregami/arch/topology_spec.cpp.o" "gcc" "src/CMakeFiles/oregami_arch.dir/oregami/arch/topology_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oregami_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

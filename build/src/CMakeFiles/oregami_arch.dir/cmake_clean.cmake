@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_arch.dir/oregami/arch/cayley_topology.cpp.o"
+  "CMakeFiles/oregami_arch.dir/oregami/arch/cayley_topology.cpp.o.d"
+  "CMakeFiles/oregami_arch.dir/oregami/arch/routes.cpp.o"
+  "CMakeFiles/oregami_arch.dir/oregami/arch/routes.cpp.o.d"
+  "CMakeFiles/oregami_arch.dir/oregami/arch/topology.cpp.o"
+  "CMakeFiles/oregami_arch.dir/oregami/arch/topology.cpp.o.d"
+  "CMakeFiles/oregami_arch.dir/oregami/arch/topology_spec.cpp.o"
+  "CMakeFiles/oregami_arch.dir/oregami/arch/topology_spec.cpp.o.d"
+  "liboregami_arch.a"
+  "liboregami_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

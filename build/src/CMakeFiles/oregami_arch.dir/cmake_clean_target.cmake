@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboregami_arch.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oregami/core/mapping.cpp" "src/CMakeFiles/oregami_core.dir/oregami/core/mapping.cpp.o" "gcc" "src/CMakeFiles/oregami_core.dir/oregami/core/mapping.cpp.o.d"
+  "/root/repo/src/oregami/core/mapping_io.cpp" "src/CMakeFiles/oregami_core.dir/oregami/core/mapping_io.cpp.o" "gcc" "src/CMakeFiles/oregami_core.dir/oregami/core/mapping_io.cpp.o.d"
+  "/root/repo/src/oregami/core/recognize.cpp" "src/CMakeFiles/oregami_core.dir/oregami/core/recognize.cpp.o" "gcc" "src/CMakeFiles/oregami_core.dir/oregami/core/recognize.cpp.o.d"
+  "/root/repo/src/oregami/core/task_graph.cpp" "src/CMakeFiles/oregami_core.dir/oregami/core/task_graph.cpp.o" "gcc" "src/CMakeFiles/oregami_core.dir/oregami/core/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oregami_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

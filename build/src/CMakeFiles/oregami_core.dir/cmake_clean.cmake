@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_core.dir/oregami/core/mapping.cpp.o"
+  "CMakeFiles/oregami_core.dir/oregami/core/mapping.cpp.o.d"
+  "CMakeFiles/oregami_core.dir/oregami/core/mapping_io.cpp.o"
+  "CMakeFiles/oregami_core.dir/oregami/core/mapping_io.cpp.o.d"
+  "CMakeFiles/oregami_core.dir/oregami/core/recognize.cpp.o"
+  "CMakeFiles/oregami_core.dir/oregami/core/recognize.cpp.o.d"
+  "CMakeFiles/oregami_core.dir/oregami/core/task_graph.cpp.o"
+  "CMakeFiles/oregami_core.dir/oregami/core/task_graph.cpp.o.d"
+  "liboregami_core.a"
+  "liboregami_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

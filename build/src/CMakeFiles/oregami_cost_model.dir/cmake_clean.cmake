@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_cost_model.dir/oregami/metrics/completion_model.cpp.o"
+  "CMakeFiles/oregami_cost_model.dir/oregami/metrics/completion_model.cpp.o.d"
+  "liboregami_cost_model.a"
+  "liboregami_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oregami/graph/blossom.cpp" "src/CMakeFiles/oregami_graph.dir/oregami/graph/blossom.cpp.o" "gcc" "src/CMakeFiles/oregami_graph.dir/oregami/graph/blossom.cpp.o.d"
+  "/root/repo/src/oregami/graph/graph.cpp" "src/CMakeFiles/oregami_graph.dir/oregami/graph/graph.cpp.o" "gcc" "src/CMakeFiles/oregami_graph.dir/oregami/graph/graph.cpp.o.d"
+  "/root/repo/src/oregami/graph/gray_code.cpp" "src/CMakeFiles/oregami_graph.dir/oregami/graph/gray_code.cpp.o" "gcc" "src/CMakeFiles/oregami_graph.dir/oregami/graph/gray_code.cpp.o.d"
+  "/root/repo/src/oregami/graph/matching.cpp" "src/CMakeFiles/oregami_graph.dir/oregami/graph/matching.cpp.o" "gcc" "src/CMakeFiles/oregami_graph.dir/oregami/graph/matching.cpp.o.d"
+  "/root/repo/src/oregami/graph/shortest_paths.cpp" "src/CMakeFiles/oregami_graph.dir/oregami/graph/shortest_paths.cpp.o" "gcc" "src/CMakeFiles/oregami_graph.dir/oregami/graph/shortest_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oregami_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_graph.dir/oregami/graph/blossom.cpp.o"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/blossom.cpp.o.d"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/graph.cpp.o"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/graph.cpp.o.d"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/gray_code.cpp.o"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/gray_code.cpp.o.d"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/matching.cpp.o"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/matching.cpp.o.d"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/shortest_paths.cpp.o"
+  "CMakeFiles/oregami_graph.dir/oregami/graph/shortest_paths.cpp.o.d"
+  "liboregami_graph.a"
+  "liboregami_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

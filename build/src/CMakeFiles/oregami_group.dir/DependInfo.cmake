@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oregami/group/cayley.cpp" "src/CMakeFiles/oregami_group.dir/oregami/group/cayley.cpp.o" "gcc" "src/CMakeFiles/oregami_group.dir/oregami/group/cayley.cpp.o.d"
+  "/root/repo/src/oregami/group/perm_group.cpp" "src/CMakeFiles/oregami_group.dir/oregami/group/perm_group.cpp.o" "gcc" "src/CMakeFiles/oregami_group.dir/oregami/group/perm_group.cpp.o.d"
+  "/root/repo/src/oregami/group/permutation.cpp" "src/CMakeFiles/oregami_group.dir/oregami/group/permutation.cpp.o" "gcc" "src/CMakeFiles/oregami_group.dir/oregami/group/permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oregami_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

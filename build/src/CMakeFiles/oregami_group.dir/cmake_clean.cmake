@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_group.dir/oregami/group/cayley.cpp.o"
+  "CMakeFiles/oregami_group.dir/oregami/group/cayley.cpp.o.d"
+  "CMakeFiles/oregami_group.dir/oregami/group/perm_group.cpp.o"
+  "CMakeFiles/oregami_group.dir/oregami/group/perm_group.cpp.o.d"
+  "CMakeFiles/oregami_group.dir/oregami/group/permutation.cpp.o"
+  "CMakeFiles/oregami_group.dir/oregami/group/permutation.cpp.o.d"
+  "liboregami_group.a"
+  "liboregami_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oregami/larcs/affine.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/affine.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/affine.cpp.o.d"
+  "/root/repo/src/oregami/larcs/compiler.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/compiler.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/compiler.cpp.o.d"
+  "/root/repo/src/oregami/larcs/expr_eval.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/expr_eval.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/expr_eval.cpp.o.d"
+  "/root/repo/src/oregami/larcs/lexer.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/lexer.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/lexer.cpp.o.d"
+  "/root/repo/src/oregami/larcs/parser.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/parser.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/parser.cpp.o.d"
+  "/root/repo/src/oregami/larcs/phase_expr.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/phase_expr.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/phase_expr.cpp.o.d"
+  "/root/repo/src/oregami/larcs/programs.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/programs.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/programs.cpp.o.d"
+  "/root/repo/src/oregami/larcs/render.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/render.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/render.cpp.o.d"
+  "/root/repo/src/oregami/larcs/token.cpp" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/token.cpp.o" "gcc" "src/CMakeFiles/oregami_larcs.dir/oregami/larcs/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oregami_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/affine.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/affine.cpp.o.d"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/compiler.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/compiler.cpp.o.d"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/expr_eval.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/expr_eval.cpp.o.d"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/lexer.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/lexer.cpp.o.d"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/parser.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/parser.cpp.o.d"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/phase_expr.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/phase_expr.cpp.o.d"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/programs.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/programs.cpp.o.d"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/render.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/render.cpp.o.d"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/token.cpp.o"
+  "CMakeFiles/oregami_larcs.dir/oregami/larcs/token.cpp.o.d"
+  "liboregami_larcs.a"
+  "liboregami_larcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_larcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

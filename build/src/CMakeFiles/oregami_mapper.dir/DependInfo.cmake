@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oregami/mapper/aggregation.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/aggregation.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/aggregation.cpp.o.d"
+  "/root/repo/src/oregami/mapper/baselines.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/baselines.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/baselines.cpp.o.d"
+  "/root/repo/src/oregami/mapper/binomial_mesh.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/binomial_mesh.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/binomial_mesh.cpp.o.d"
+  "/root/repo/src/oregami/mapper/canned.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/canned.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/canned.cpp.o.d"
+  "/root/repo/src/oregami/mapper/cbt_mesh.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/cbt_mesh.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/cbt_mesh.cpp.o.d"
+  "/root/repo/src/oregami/mapper/driver.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/driver.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/driver.cpp.o.d"
+  "/root/repo/src/oregami/mapper/dynamic_spawn.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/dynamic_spawn.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/dynamic_spawn.cpp.o.d"
+  "/root/repo/src/oregami/mapper/group_contract.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/group_contract.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/group_contract.cpp.o.d"
+  "/root/repo/src/oregami/mapper/migration.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/migration.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/migration.cpp.o.d"
+  "/root/repo/src/oregami/mapper/mm_route.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/mm_route.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/mm_route.cpp.o.d"
+  "/root/repo/src/oregami/mapper/mwm_contract.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/mwm_contract.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/mwm_contract.cpp.o.d"
+  "/root/repo/src/oregami/mapper/nn_embed.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/nn_embed.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/nn_embed.cpp.o.d"
+  "/root/repo/src/oregami/mapper/paper_examples.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/paper_examples.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/paper_examples.cpp.o.d"
+  "/root/repo/src/oregami/mapper/refine.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/refine.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/refine.cpp.o.d"
+  "/root/repo/src/oregami/mapper/systolic.cpp" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/systolic.cpp.o" "gcc" "src/CMakeFiles/oregami_mapper.dir/oregami/mapper/systolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oregami_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_larcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_cost_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

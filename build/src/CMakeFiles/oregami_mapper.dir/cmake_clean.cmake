@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/aggregation.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/aggregation.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/baselines.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/baselines.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/binomial_mesh.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/binomial_mesh.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/canned.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/canned.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/cbt_mesh.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/cbt_mesh.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/driver.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/driver.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/dynamic_spawn.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/dynamic_spawn.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/group_contract.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/group_contract.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/migration.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/migration.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/mm_route.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/mm_route.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/mwm_contract.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/mwm_contract.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/nn_embed.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/nn_embed.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/paper_examples.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/paper_examples.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/refine.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/refine.cpp.o.d"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/systolic.cpp.o"
+  "CMakeFiles/oregami_mapper.dir/oregami/mapper/systolic.cpp.o.d"
+  "liboregami_mapper.a"
+  "liboregami_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

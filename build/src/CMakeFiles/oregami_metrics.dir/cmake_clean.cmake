@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_metrics.dir/oregami/metrics/metrics.cpp.o"
+  "CMakeFiles/oregami_metrics.dir/oregami/metrics/metrics.cpp.o.d"
+  "CMakeFiles/oregami_metrics.dir/oregami/metrics/render.cpp.o"
+  "CMakeFiles/oregami_metrics.dir/oregami/metrics/render.cpp.o.d"
+  "CMakeFiles/oregami_metrics.dir/oregami/metrics/session.cpp.o"
+  "CMakeFiles/oregami_metrics.dir/oregami/metrics/session.cpp.o.d"
+  "liboregami_metrics.a"
+  "liboregami_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_schedule.dir/oregami/schedule/synchrony.cpp.o"
+  "CMakeFiles/oregami_schedule.dir/oregami/schedule/synchrony.cpp.o.d"
+  "liboregami_schedule.a"
+  "liboregami_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_sim.dir/oregami/sim/network_sim.cpp.o"
+  "CMakeFiles/oregami_sim.dir/oregami/sim/network_sim.cpp.o.d"
+  "liboregami_sim.a"
+  "liboregami_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

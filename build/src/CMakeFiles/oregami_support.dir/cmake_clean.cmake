@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_support.dir/oregami/support/error.cpp.o"
+  "CMakeFiles/oregami_support.dir/oregami/support/error.cpp.o.d"
+  "CMakeFiles/oregami_support.dir/oregami/support/rng.cpp.o"
+  "CMakeFiles/oregami_support.dir/oregami/support/rng.cpp.o.d"
+  "CMakeFiles/oregami_support.dir/oregami/support/text_table.cpp.o"
+  "CMakeFiles/oregami_support.dir/oregami/support/text_table.cpp.o.d"
+  "liboregami_support.a"
+  "liboregami_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binomial_mesh.dir/test_binomial_mesh.cpp.o"
+  "CMakeFiles/test_binomial_mesh.dir/test_binomial_mesh.cpp.o.d"
+  "test_binomial_mesh"
+  "test_binomial_mesh.pdb"
+  "test_binomial_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binomial_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blossom.dir/test_blossom.cpp.o"
+  "CMakeFiles/test_blossom.dir/test_blossom.cpp.o.d"
+  "test_blossom"
+  "test_blossom.pdb"
+  "test_blossom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blossom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

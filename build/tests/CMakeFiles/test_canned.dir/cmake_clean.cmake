@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canned.dir/test_canned.cpp.o"
+  "CMakeFiles/test_canned.dir/test_canned.cpp.o.d"
+  "test_canned"
+  "test_canned.pdb"
+  "test_canned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbt_mesh.dir/test_cbt_mesh.cpp.o"
+  "CMakeFiles/test_cbt_mesh.dir/test_cbt_mesh.cpp.o.d"
+  "test_cbt_mesh"
+  "test_cbt_mesh.pdb"
+  "test_cbt_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbt_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

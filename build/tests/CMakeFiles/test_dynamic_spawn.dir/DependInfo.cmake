@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dynamic_spawn.cpp" "tests/CMakeFiles/test_dynamic_spawn.dir/test_dynamic_spawn.cpp.o" "gcc" "tests/CMakeFiles/test_dynamic_spawn.dir/test_dynamic_spawn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oregami_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_larcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_cost_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_group.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oregami_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

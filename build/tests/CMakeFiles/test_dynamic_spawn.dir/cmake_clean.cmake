@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_spawn.dir/test_dynamic_spawn.cpp.o"
+  "CMakeFiles/test_dynamic_spawn.dir/test_dynamic_spawn.cpp.o.d"
+  "test_dynamic_spawn"
+  "test_dynamic_spawn.pdb"
+  "test_dynamic_spawn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

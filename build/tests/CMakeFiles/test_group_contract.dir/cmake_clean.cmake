@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_contract.dir/test_group_contract.cpp.o"
+  "CMakeFiles/test_group_contract.dir/test_group_contract.cpp.o.d"
+  "test_group_contract"
+  "test_group_contract.pdb"
+  "test_group_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_larcs_affine.dir/test_larcs_affine.cpp.o"
+  "CMakeFiles/test_larcs_affine.dir/test_larcs_affine.cpp.o.d"
+  "test_larcs_affine"
+  "test_larcs_affine.pdb"
+  "test_larcs_affine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_larcs_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_larcs_eval.dir/test_larcs_eval.cpp.o"
+  "CMakeFiles/test_larcs_eval.dir/test_larcs_eval.cpp.o.d"
+  "test_larcs_eval"
+  "test_larcs_eval.pdb"
+  "test_larcs_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_larcs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_larcs_parser.dir/test_larcs_parser.cpp.o"
+  "CMakeFiles/test_larcs_parser.dir/test_larcs_parser.cpp.o.d"
+  "test_larcs_parser"
+  "test_larcs_parser.pdb"
+  "test_larcs_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_larcs_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_larcs_render.dir/test_larcs_render.cpp.o"
+  "CMakeFiles/test_larcs_render.dir/test_larcs_render.cpp.o.d"
+  "test_larcs_render"
+  "test_larcs_render.pdb"
+  "test_larcs_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_larcs_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

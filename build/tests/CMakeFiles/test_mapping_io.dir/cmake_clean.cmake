@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapping_io.dir/test_mapping_io.cpp.o"
+  "CMakeFiles/test_mapping_io.dir/test_mapping_io.cpp.o.d"
+  "test_mapping_io"
+  "test_mapping_io.pdb"
+  "test_mapping_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapping_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

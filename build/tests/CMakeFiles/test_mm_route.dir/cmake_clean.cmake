@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mm_route.dir/test_mm_route.cpp.o"
+  "CMakeFiles/test_mm_route.dir/test_mm_route.cpp.o.d"
+  "test_mm_route"
+  "test_mm_route.pdb"
+  "test_mm_route[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mm_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

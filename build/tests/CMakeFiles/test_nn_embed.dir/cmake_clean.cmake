@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_embed.dir/test_nn_embed.cpp.o"
+  "CMakeFiles/test_nn_embed.dir/test_nn_embed.cpp.o.d"
+  "test_nn_embed"
+  "test_nn_embed.pdb"
+  "test_nn_embed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recognize.dir/test_recognize.cpp.o"
+  "CMakeFiles/test_recognize.dir/test_recognize.cpp.o.d"
+  "test_recognize"
+  "test_recognize.pdb"
+  "test_recognize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recognize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

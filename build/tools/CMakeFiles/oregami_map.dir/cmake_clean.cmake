@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oregami_map.dir/oregami_map.cpp.o"
+  "CMakeFiles/oregami_map.dir/oregami_map.cpp.o.d"
+  "oregami_map"
+  "oregami_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oregami_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
