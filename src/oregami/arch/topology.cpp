@@ -225,6 +225,12 @@ int Topology::distance(int u, int v) const {
   return distance_row(u)[static_cast<std::size_t>(v)];
 }
 
+void Topology::precompute_distances() const {
+  for (int u = 0; u < num_procs(); ++u) {
+    (void)distance_row(u);
+  }
+}
+
 int Topology::diameter() const {
   int best = 0;
   for (int u = 0; u < num_procs(); ++u) {

@@ -67,6 +67,13 @@ class Topology {
   /// Full distance row from `u` (cached).
   [[nodiscard]] const std::vector<int>& distance_row(int u) const;
 
+  /// Fills every row of the distance cache. After this returns, all
+  /// const queries (distance, distance_row, diameter) only read the
+  /// cache and are safe to call concurrently from multiple threads --
+  /// the portfolio mapper calls this once before fanning candidates
+  /// out to its thread pool.
+  void precompute_distances() const;
+
   [[nodiscard]] int diameter() const;
 
   /// Human label for a processor: plain index, mesh coordinates
@@ -87,8 +94,9 @@ class Topology {
   TopoFamily family_;
   std::vector<int> shape_;
   Graph links_;
-  // Lazy per-source distance cache; mutable because distance queries are
-  // logically const. Not thread-safe by design (documented).
+  // Lazy per-source distance cache; mutable because distance queries
+  // are logically const. Lazy filling is not thread-safe; call
+  // precompute_distances() before sharing a Topology across threads.
   mutable std::vector<std::vector<int>> dist_rows_;
 };
 

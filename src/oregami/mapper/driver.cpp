@@ -8,6 +8,7 @@
 #include "oregami/mapper/group_contract.hpp"
 #include "oregami/mapper/mwm_contract.hpp"
 #include "oregami/mapper/nn_embed.hpp"
+#include "oregami/mapper/portfolio.hpp"
 #include "oregami/mapper/refine.hpp"
 #include "oregami/mapper/systolic.hpp"
 #include "oregami/support/error.hpp"
@@ -47,8 +48,18 @@ Graph cluster_graph_of(const TaskGraph& graph,
 
 Embedding embed_clusters(const TaskGraph& graph,
                          const Contraction& contraction,
-                         const Topology& topo, std::string* how) {
+                         const Topology& topo, std::string* how,
+                         std::uint64_t nn_seed) {
   const Graph cg = cluster_graph_of(graph, contraction);
+  if (nn_seed != 0) {
+    // Seeded portfolio candidate: the whole point is tie-break
+    // diversity, so bypass the canned shortcut (which is seed-blind).
+    if (how != nullptr) {
+      *how = "NN-Embed seeded placement (seed " + std::to_string(nn_seed) +
+             ")";
+    }
+    return nn_embed_seeded(cg, topo, nn_seed);
+  }
   const RecognizedFamily family = recognize_family(cg);
   if (family.family != GraphFamily::Unknown) {
     // A canned entry for the *cluster* graph: its contraction must be
@@ -138,7 +149,8 @@ std::optional<MapperReport> try_group(const TaskGraph& graph,
 }
 
 MapperReport do_general(const TaskGraph& graph, const Topology& topo,
-                        const MapperOptions& options) {
+                        const MapperOptions& options,
+                        std::uint64_t nn_seed = 0) {
   const Graph aggregate = graph.aggregate_graph();
   MwmContractResult contract =
       mwm_contract(aggregate, topo.num_procs(), options.load_bound_B);
@@ -153,7 +165,8 @@ MapperReport do_general(const TaskGraph& graph, const Topology& topo,
     contraction = std::move(refined.contraction);
   }
   std::string how;
-  Embedding embedding = embed_clusters(graph, contraction, topo, &how);
+  Embedding embedding =
+      embed_clusters(graph, contraction, topo, &how, nn_seed);
   return finish(MapStrategy::General, description + "; " + how,
                 std::move(contraction), std::move(embedding), graph, topo,
                 options);
@@ -161,10 +174,67 @@ MapperReport do_general(const TaskGraph& graph, const Topology& topo,
 
 }  // namespace
 
+std::optional<MapperReport> try_strategy(MapStrategy strategy,
+                                         const TaskGraph& graph,
+                                         const Topology& topo,
+                                         const MapperOptions& options) {
+  if (graph.num_tasks() == 0) {
+    throw MappingError("cannot map an empty task graph");
+  }
+  switch (strategy) {
+    case MapStrategy::Canned:
+      return try_canned(graph, topo, options,
+                        recognize_family(graph.aggregate_graph()));
+    case MapStrategy::GroupTheoretic:
+      return try_group(graph, topo, options);
+    case MapStrategy::Systolic:
+      return std::nullopt;  // needs the LaRCS program; see try_systolic
+    case MapStrategy::General:
+      return do_general(graph, topo, options);
+  }
+  return std::nullopt;
+}
+
+std::optional<MapperReport> try_systolic(
+    const larcs::Program& program, const larcs::CompiledProgram& compiled,
+    const Topology& topo, const MapperOptions& options) {
+  const TaskGraph& graph = compiled.graph;
+  if (topo.family() != TopoFamily::Mesh &&
+      topo.family() != TopoFamily::Torus &&
+      topo.family() != TopoFamily::Chain &&
+      topo.family() != TopoFamily::Ring) {
+    return std::nullopt;
+  }
+  auto systolic = systolic_map(program, compiled);
+  if (!systolic || systolic->contraction.num_clusters > topo.num_procs()) {
+    return std::nullopt;
+  }
+  std::string how;
+  Embedding embedding =
+      embed_clusters(graph, systolic->contraction, topo, &how);
+  return finish(MapStrategy::Systolic, systolic->description + "; " + how,
+                std::move(systolic->contraction), std::move(embedding),
+                graph, topo, options);
+}
+
+MapperReport map_general_seeded(const TaskGraph& graph, const Topology& topo,
+                                const MapperOptions& options,
+                                std::uint64_t nn_seed) {
+  if (graph.num_tasks() == 0) {
+    throw MappingError("cannot map an empty task graph");
+  }
+  return do_general(graph, topo, options, nn_seed);
+}
+
 MapperReport map_computation(const TaskGraph& graph, const Topology& topo,
                              const MapperOptions& options) {
   if (graph.num_tasks() == 0) {
     throw MappingError("cannot map an empty task graph");
+  }
+  if (options.portfolio > 0) {
+    return portfolio_map_computation(graph, topo, options,
+                                     portfolio_options_from(options))
+        .best;
   }
   if (options.allow_canned) {
     const RecognizedFamily family =
@@ -189,28 +259,16 @@ MapperReport map_program(const larcs::Program& program,
   if (graph.num_tasks() == 0) {
     throw MappingError("cannot map an empty task graph");
   }
+  if (options.portfolio > 0) {
+    return portfolio_map_program(program, compiled, topo, options,
+                                 portfolio_options_from(options))
+        .best;
+  }
 
   // Systolic path: uniform recurrence onto an array-like target.
-  if (options.allow_systolic &&
-      (topo.family() == TopoFamily::Mesh ||
-       topo.family() == TopoFamily::Torus ||
-       topo.family() == TopoFamily::Chain ||
-       topo.family() == TopoFamily::Ring)) {
-    if (auto systolic = systolic_map(program, compiled)) {
-      if (systolic->contraction.num_clusters <= topo.num_procs()) {
-        std::string how;
-        Embedding embedding =
-            embed_clusters(graph, systolic->contraction, topo, &how);
-        MapperReport report;
-        report.strategy = MapStrategy::Systolic;
-        report.details = systolic->description + "; " + how;
-        report.mapping.contraction = std::move(systolic->contraction);
-        report.mapping.embedding = std::move(embedding);
-        report.mapping.routing = mm_route(
-            graph, report.mapping.proc_of_task(), topo, options.routing);
-        validate_mapping(report.mapping, graph, topo);
-        return report;
-      }
+  if (options.allow_systolic) {
+    if (auto report = try_systolic(program, compiled, topo, options)) {
+      return *report;
     }
   }
 

@@ -12,6 +12,8 @@
 // NN-Embed. Routing: always MM-Route.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "oregami/arch/topology.hpp"
@@ -40,6 +42,14 @@ struct MapperOptions {
   /// Polish the general path's contraction with the KL/FM boundary
   /// refinement pass (see refine.hpp).
   bool refine = false;
+  /// Portfolio mode (mapper/portfolio.hpp): when > 0,
+  /// map_computation/map_program run every admissible Fig-3 strategy
+  /// plus this many seeded general-path variants concurrently and
+  /// return the best-scoring mapping. The result is bit-deterministic
+  /// in `portfolio_seed` and independent of `jobs`.
+  int portfolio = 0;
+  int jobs = 1;  ///< portfolio workers; 0 = hardware_concurrency
+  std::uint64_t portfolio_seed = 0x09E6A311u;  ///< candidate RNG base seed
 };
 
 struct MapperReport {
@@ -61,12 +71,41 @@ struct MapperReport {
     const larcs::Program& program, const larcs::CompiledProgram& compiled,
     const Topology& topo, const MapperOptions& options = {});
 
+/// Attempts exactly one strategy from the Fig-3 decision tree, without
+/// falling through to the next. Canned/GroupTheoretic return nullopt
+/// when inadmissible; General always succeeds; Systolic always returns
+/// nullopt here (it needs the LaRCS program -- use try_systolic).
+/// `options.portfolio` is ignored. Used by the portfolio mapper to run
+/// the strategies as independent candidates.
+[[nodiscard]] std::optional<MapperReport> try_strategy(
+    MapStrategy strategy, const TaskGraph& graph, const Topology& topo,
+    const MapperOptions& options = {});
+
+/// Attempts only systolic synthesis (uniform recurrence onto an
+/// array-like target); nullopt when inadmissible.
+[[nodiscard]] std::optional<MapperReport> try_systolic(
+    const larcs::Program& program, const larcs::CompiledProgram& compiled,
+    const Topology& topo, const MapperOptions& options = {});
+
+/// The general path (MWM-Contract [+ refine] + NN-Embed + MM-Route)
+/// with an explicit NN-Embed tie-break seed; `nn_seed` = 0 keeps the
+/// deterministic lowest-id rule (and the canned cluster-graph
+/// shortcut), a non-zero seed forces seeded NN-Embed so each portfolio
+/// candidate explores a different corner of the tie space.
+[[nodiscard]] MapperReport map_general_seeded(const TaskGraph& graph,
+                                              const Topology& topo,
+                                              const MapperOptions& options,
+                                              std::uint64_t nn_seed);
+
 /// Embeds an arbitrary contraction: canned lookup when the cluster
 /// graph is nameable, NN-Embed otherwise. Exposed for reuse by tools.
+/// A non-zero `nn_seed` skips the canned shortcut and uses seeded
+/// NN-Embed tie-breaking (see nn_embed.hpp).
 [[nodiscard]] Embedding embed_clusters(const TaskGraph& graph,
                                        const Contraction& contraction,
                                        const Topology& topo,
-                                       std::string* how = nullptr);
+                                       std::string* how = nullptr,
+                                       std::uint64_t nn_seed = 0);
 
 /// Builds the weighted cluster graph induced by a contraction
 /// (inter-cluster aggregate communication).

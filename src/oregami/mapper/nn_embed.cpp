@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "oregami/support/error.hpp"
+#include "oregami/support/rng.hpp"
 
 namespace oregami {
 
@@ -18,7 +19,40 @@ std::int64_t weighted_dilation(const Graph& cluster_graph,
   return total;
 }
 
-Embedding nn_embed(const Graph& cluster_graph, const Topology& topo) {
+namespace {
+
+// Streaming argmax/argmin with pluggable tie-breaking: without an rng
+// the first (lowest-id) candidate wins ties, the historical NN-Embed
+// rule; with an rng, ties are resolved by reservoir sampling, so each
+// tied candidate is kept with equal probability using O(1) state.
+class Pick {
+ public:
+  explicit Pick(SplitMix64* rng) : rng_(rng) {}
+
+  /// Offers candidate `id` with `key`; `better` true when key strictly
+  /// beats the incumbent's key (caller compares; Pick only counts ties).
+  void offer(int id, bool better, bool equal) {
+    if (chosen_ == -1 || better) {
+      chosen_ = id;
+      ties_ = 1;
+    } else if (equal) {
+      ++ties_;
+      if (rng_ != nullptr && rng_->next_below(ties_) == 0) {
+        chosen_ = id;
+      }
+    }
+  }
+
+  [[nodiscard]] int chosen() const { return chosen_; }
+
+ private:
+  SplitMix64* rng_;
+  int chosen_ = -1;
+  std::uint64_t ties_ = 1;
+};
+
+Embedding nn_embed_impl(const Graph& cluster_graph, const Topology& topo,
+                        SplitMix64* rng) {
   const int c = cluster_graph.num_vertices();
   const int p = topo.num_procs();
   if (c > p) {
@@ -43,45 +77,52 @@ Embedding nn_embed(const Graph& cluster_graph, const Topology& topo) {
 
   // Seed: heaviest cluster edge onto a max-degree link.
   {
-    int best_edge = -1;
+    Pick edge_pick(rng);
     for (int e = 0; e < cluster_graph.num_edges(); ++e) {
-      if (best_edge == -1 ||
-          cluster_graph.edges()[static_cast<std::size_t>(e)].weight >
-              cluster_graph.edges()[static_cast<std::size_t>(best_edge)]
-                  .weight) {
-        best_edge = e;
-      }
+      const auto w = cluster_graph.edges()[static_cast<std::size_t>(e)].weight;
+      const auto best =
+          edge_pick.chosen() == -1
+              ? w
+              : cluster_graph.edges()[static_cast<std::size_t>(
+                                          edge_pick.chosen())]
+                    .weight;
+      edge_pick.offer(e, w > best, w == best);
     }
-    int seed_u = 0;
-    for (int v = 1; v < p; ++v) {
-      if (topo.graph().degree(v) > topo.graph().degree(seed_u)) {
-        seed_u = v;
-      }
-    }
-    if (best_edge == -1) {
+    if (edge_pick.chosen() == -1) {
       // No communication at all: fill processors in index order.
       for (int cl = 0; cl < c; ++cl) {
         place(cl, cl);
       }
       return embedding;
     }
-    int seed_v = -1;
-    for (const auto& a : topo.graph().neighbors(seed_u)) {
-      if (seed_v == -1 ||
-          topo.graph().degree(a.neighbor) > topo.graph().degree(seed_v)) {
-        seed_v = a.neighbor;
-      }
+    Pick u_pick(rng);
+    for (int v = 0; v < p; ++v) {
+      const int d = topo.graph().degree(v);
+      const int best =
+          u_pick.chosen() == -1 ? d : topo.graph().degree(u_pick.chosen());
+      u_pick.offer(v, d > best, d == best);
     }
+    const int seed_u = u_pick.chosen();
+    Pick v_pick(rng);
+    for (const auto& a : topo.graph().neighbors(seed_u)) {
+      const int d = topo.graph().degree(a.neighbor);
+      const int best = v_pick.chosen() == -1
+                           ? d
+                           : topo.graph().degree(v_pick.chosen());
+      v_pick.offer(a.neighbor, d > best, d == best);
+    }
+    const int seed_v = v_pick.chosen();
     OREGAMI_ASSERT(seed_v != -1, "topology must have at least one link");
     const auto& e =
-        cluster_graph.edges()[static_cast<std::size_t>(best_edge)];
+        cluster_graph.edges()[static_cast<std::size_t>(edge_pick.chosen())];
     place(e.u, seed_u);
     place(e.v, seed_v);
   }
 
+  std::vector<std::int64_t> weight_to_placed(static_cast<std::size_t>(c));
   while (placed_count < c) {
-    // Next cluster: max communication to placed set; tie -> lowest id.
-    int next = -1;
+    // Next cluster: max communication to the placed set.
+    Pick next_pick(rng);
     std::int64_t next_weight = -1;
     for (int cl = 0; cl < c; ++cl) {
       if (placed[static_cast<std::size_t>(cl)]) {
@@ -93,18 +134,19 @@ Embedding nn_embed(const Graph& cluster_graph, const Topology& topo) {
           w += a.weight;
         }
       }
-      if (w > next_weight) {
-        next = cl;
-        next_weight = w;
-      }
+      weight_to_placed[static_cast<std::size_t>(cl)] = w;
+      next_pick.offer(cl, w > next_weight, w == next_weight);
+      next_weight =
+          weight_to_placed[static_cast<std::size_t>(next_pick.chosen())];
     }
+    const int next = next_pick.chosen();
     OREGAMI_ASSERT(next != -1, "an unplaced cluster must exist");
 
     // Best free processor: minimise weighted distance to placed
-    // neighbours; tie -> lowest processor id. Clusters with no placed
-    // neighbours land on the free processor closest to the seed area
-    // (distance sum of zero everywhere, so lowest id wins).
-    int best_proc = -1;
+    // neighbours. With the lowest-id rule, clusters with no placed
+    // neighbours land on the lowest free processor; seeded runs spread
+    // them uniformly over the free set.
+    Pick proc_pick(rng);
     std::int64_t best_cost = 0;
     for (int proc = 0; proc < p; ++proc) {
       if (proc_used[static_cast<std::size_t>(proc)]) {
@@ -119,16 +161,30 @@ Embedding nn_embed(const Graph& cluster_graph, const Topology& topo) {
           cost += a.weight * topo.distance(proc, other);
         }
       }
-      if (best_proc == -1 || cost < best_cost) {
-        best_proc = proc;
+      const bool first = proc_pick.chosen() == -1;
+      proc_pick.offer(proc, !first && cost < best_cost,
+                      !first && cost == best_cost);
+      if (first || cost < best_cost) {
         best_cost = cost;
       }
     }
-    place(next, best_proc);
+    place(next, proc_pick.chosen());
   }
 
   embedding.validate(p);
   return embedding;
+}
+
+}  // namespace
+
+Embedding nn_embed(const Graph& cluster_graph, const Topology& topo) {
+  return nn_embed_impl(cluster_graph, topo, nullptr);
+}
+
+Embedding nn_embed_seeded(const Graph& cluster_graph, const Topology& topo,
+                          std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  return nn_embed_impl(cluster_graph, topo, &rng);
 }
 
 }  // namespace oregami

@@ -7,7 +7,15 @@
 // the free processor minimising the weighted sum of hop distances to
 // its placed neighbours. Deterministic tie-breaking throughout
 // (lowest id).
+//
+// The greedy objective ties constantly on symmetric topologies, so the
+// tie-break *is* a search dimension: nn_embed_seeded replaces the
+// lowest-id rule with a uniform choice among the tied candidates, drawn
+// from a caller-seeded SplitMix64. Same seed -> same embedding, which
+// is what the portfolio mapper's determinism contract builds on.
 #pragma once
+
+#include <cstdint>
 
 #include "oregami/arch/topology.hpp"
 #include "oregami/core/mapping.hpp"
@@ -21,6 +29,13 @@ namespace oregami {
 /// MappingError otherwise.
 [[nodiscard]] Embedding nn_embed(const Graph& cluster_graph,
                                  const Topology& topo);
+
+/// NN-Embed with seeded uniform tie-breaking instead of lowest-id: the
+/// greedy decisions (seed edge/link, growth order, processor choice)
+/// pick uniformly among tied candidates. Deterministic in `seed`.
+[[nodiscard]] Embedding nn_embed_seeded(const Graph& cluster_graph,
+                                        const Topology& topo,
+                                        std::uint64_t seed);
 
 /// The weighted-dilation objective NN-Embed greedily optimises:
 /// sum over cluster edges of weight * hop-distance of their processors.

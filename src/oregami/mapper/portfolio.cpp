@@ -1,0 +1,267 @@
+#include "oregami/mapper/portfolio.hpp"
+
+#include <functional>
+#include <future>
+#include <tuple>
+#include <utility>
+
+#include "oregami/support/error.hpp"
+#include "oregami/support/rng.hpp"
+#include "oregami/support/text_table.hpp"
+#include "oregami/support/thread_pool.hpp"
+
+namespace oregami {
+
+PortfolioOptions portfolio_options_from(const MapperOptions& options) {
+  PortfolioOptions popts;
+  popts.num_seeded = options.portfolio;
+  popts.jobs = options.jobs;
+  popts.seed = options.portfolio_seed;
+  return popts;
+}
+
+namespace {
+
+/// Multiplicity-weighted volume crossing processor boundaries (the
+/// METRICS total-IPC headline, recomputed here so the mapper layer
+/// does not depend on the metrics library).
+std::int64_t external_ipc_of(const TaskGraph& graph,
+                             const std::vector<int>& proc_of_task) {
+  const auto multiplicity = graph.comm_phase_multiplicity();
+  std::int64_t total = 0;
+  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+    std::int64_t phase_volume = 0;
+    for (const auto& e : graph.comm_phases()[k].edges) {
+      if (proc_of_task[static_cast<std::size_t>(e.src)] !=
+          proc_of_task[static_cast<std::size_t>(e.dst)]) {
+        phase_volume += e.volume;
+      }
+    }
+    total += phase_volume * multiplicity[k];
+  }
+  return total;
+}
+
+/// Independent RNG stream for candidate `id`: SplitMix64 seeded by a
+/// mix of the base seed and the id, so neighbouring ids decorrelate
+/// and no candidate shares draws with another.
+SplitMix64 candidate_stream(std::uint64_t base_seed, int id) {
+  SplitMix64 mix(base_seed ^
+                 (0x9E3779B97F4A7C15ULL *
+                  (static_cast<std::uint64_t>(id) + 1)));
+  return mix;
+}
+
+struct CandidateSpec {
+  std::string label;
+  std::function<std::optional<MapperReport>()> run;
+};
+
+/// The seeded general-path variants: cycle the MWM-Contract load bound
+/// through {default, tightest feasible, default+1, default+2}, toggle
+/// refinement every four variants, and give every variant its own
+/// NN-Embed tie-break seed.
+void add_seeded_variants(std::vector<CandidateSpec>* specs,
+                         const TaskGraph& graph, const Topology& topo,
+                         const MapperOptions& base,
+                         const PortfolioOptions& options) {
+  const int n = graph.num_tasks();
+  const int p = topo.num_procs();
+  const int default_b = 2 * ((n + 2 * p - 1) / (2 * p));
+  const int tight_b = (n + p - 1) / p;
+  const int bounds[4] = {-1, tight_b, default_b + 1, default_b + 2};
+  const int first_id = static_cast<int>(specs->size());
+  for (int i = 0; i < options.num_seeded; ++i) {
+    MapperOptions variant = base;
+    variant.portfolio = 0;
+    variant.load_bound_B = bounds[i % 4];
+    variant.refine = (i % 8) >= 4;
+    SplitMix64 stream = candidate_stream(options.seed, first_id + i);
+    const std::uint64_t nn_seed = stream.next_u64() | 1;  // never 0
+    const int b_used = variant.load_bound_B < 0 ? default_b
+                                                : variant.load_bound_B;
+    specs->push_back(
+        {"general B=" + std::to_string(b_used) +
+             (variant.refine ? " refine" : "") + " seed#" +
+             std::to_string(i),
+         [&graph, &topo, variant, nn_seed] {
+           return std::optional<MapperReport>(
+               map_general_seeded(graph, topo, variant, nn_seed));
+         }});
+  }
+}
+
+PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
+                              const PortfolioOptions& options,
+                              std::vector<CandidateSpec> specs) {
+  // Shared read-only state must really be read-only under the pool:
+  // the topology's lazy distance cache is the one mutable piece, so
+  // fill it before fanning out.
+  topo.precompute_distances();
+
+  ThreadPool pool(options.jobs);
+  std::vector<std::future<PortfolioCandidate>> futures;
+  futures.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    futures.push_back(pool.submit(
+        [spec = std::move(specs[i]), id = static_cast<int>(i)] {
+          PortfolioCandidate candidate;
+          candidate.id = id;
+          candidate.label = spec.label;
+          try {
+            if (auto report = spec.run()) {
+              candidate.ok = true;
+              candidate.strategy = report->strategy;
+              candidate.note = report->details;
+              candidate.mapping = std::move(report->mapping);
+            } else {
+              candidate.note = "not admissible";
+            }
+          } catch (const MappingError& e) {
+            candidate.note = std::string("infeasible: ") + e.what();
+          }
+          return candidate;
+        }));
+  }
+
+  PortfolioReport report;
+  report.candidates.reserve(futures.size());
+  for (auto& future : futures) {
+    report.candidates.push_back(future.get());  // rethrows non-mapping errors
+  }
+
+  // Score sequentially (cheap relative to mapping) and select the
+  // winner by (completion, external IPC, id) -- never completion order.
+  for (auto& candidate : report.candidates) {
+    if (!candidate.ok) {
+      continue;
+    }
+    const auto procs = candidate.mapping.proc_of_task();
+    candidate.completion = completion_time(
+        graph, procs, candidate.mapping.routing, topo, options.model);
+    candidate.external_ipc = external_ipc_of(graph, procs);
+    const bool better =
+        report.best_id < 0 ||
+        std::tie(candidate.completion, candidate.external_ipc) <
+            std::tie(report.candidates[static_cast<std::size_t>(
+                                           report.best_id)]
+                         .completion,
+                     report.candidates[static_cast<std::size_t>(
+                                           report.best_id)]
+                         .external_ipc);
+    if (better) {
+      report.best_id = candidate.id;
+    }
+  }
+  if (report.best_id < 0) {
+    throw MappingError("portfolio: no feasible candidate");
+  }
+
+  const auto& winner =
+      report.candidates[static_cast<std::size_t>(report.best_id)];
+  report.best.strategy = winner.strategy;
+  report.best.details = "portfolio winner '" + winner.label + "' of " +
+                        std::to_string(report.candidates.size()) +
+                        " candidates; " + winner.note;
+  report.best.mapping = winner.mapping;
+  return report;
+}
+
+}  // namespace
+
+std::string PortfolioReport::table() const {
+  TextTable t({"id", "candidate", "strategy", "completion", "ext-IPC",
+               "status"});
+  for (const auto& c : candidates) {
+    t.add_row({std::to_string(c.id), c.label,
+               c.ok ? to_string(c.strategy) : "-",
+               c.ok ? std::to_string(c.completion) : "-",
+               c.ok ? std::to_string(c.external_ipc) : "-",
+               c.id == best_id ? "** best **" : (c.ok ? "ok" : c.note)});
+  }
+  return t.to_string();
+}
+
+PortfolioReport portfolio_map_computation(const TaskGraph& graph,
+                                          const Topology& topo,
+                                          const MapperOptions& base,
+                                          const PortfolioOptions& options) {
+  if (graph.num_tasks() == 0) {
+    throw MappingError("cannot map an empty task graph");
+  }
+  MapperOptions single = base;
+  single.portfolio = 0;
+  std::vector<CandidateSpec> specs;
+  specs.push_back({"fig3 single-shot", [&graph, &topo, single] {
+                     return std::optional<MapperReport>(
+                         map_computation(graph, topo, single));
+                   }});
+  if (single.allow_canned) {
+    specs.push_back({"canned", [&graph, &topo, single] {
+                       return try_strategy(MapStrategy::Canned, graph, topo,
+                                           single);
+                     }});
+  }
+  if (single.allow_group) {
+    specs.push_back({"group-theoretic", [&graph, &topo, single] {
+                       return try_strategy(MapStrategy::GroupTheoretic,
+                                           graph, topo, single);
+                     }});
+  }
+  MapperOptions flipped = single;
+  flipped.refine = !single.refine;
+  specs.push_back(
+      {std::string("general ") + (flipped.refine ? "refine" : "no-refine"),
+       [&graph, &topo, flipped] {
+         return try_strategy(MapStrategy::General, graph, topo, flipped);
+       }});
+  add_seeded_variants(&specs, graph, topo, single, options);
+  return run_portfolio(graph, topo, options, std::move(specs));
+}
+
+PortfolioReport portfolio_map_program(const larcs::Program& program,
+                                      const larcs::CompiledProgram& compiled,
+                                      const Topology& topo,
+                                      const MapperOptions& base,
+                                      const PortfolioOptions& options) {
+  const TaskGraph& graph = compiled.graph;
+  if (graph.num_tasks() == 0) {
+    throw MappingError("cannot map an empty task graph");
+  }
+  MapperOptions single = base;
+  single.portfolio = 0;
+  std::vector<CandidateSpec> specs;
+  specs.push_back({"fig3 single-shot",
+                   [&program, &compiled, &topo, single] {
+                     return std::optional<MapperReport>(
+                         map_program(program, compiled, topo, single));
+                   }});
+  if (single.allow_systolic) {
+    specs.push_back({"systolic", [&program, &compiled, &topo, single] {
+                       return try_systolic(program, compiled, topo, single);
+                     }});
+  }
+  if (single.allow_canned) {
+    specs.push_back({"canned", [&graph, &topo, single] {
+                       return try_strategy(MapStrategy::Canned, graph, topo,
+                                           single);
+                     }});
+  }
+  if (single.allow_group) {
+    specs.push_back({"group-theoretic", [&graph, &topo, single] {
+                       return try_strategy(MapStrategy::GroupTheoretic,
+                                           graph, topo, single);
+                     }});
+  }
+  MapperOptions flipped = single;
+  flipped.refine = !single.refine;
+  specs.push_back(
+      {std::string("general ") + (flipped.refine ? "refine" : "no-refine"),
+       [&graph, &topo, flipped] {
+         return try_strategy(MapStrategy::General, graph, topo, flipped);
+       }});
+  add_seeded_variants(&specs, graph, topo, single, options);
+  return run_portfolio(graph, topo, options, std::move(specs));
+}
+
+}  // namespace oregami

@@ -1,0 +1,93 @@
+// The parallel portfolio mapper: instead of walking the Fig-3 decision
+// tree once, run *every* admissible strategy plus N seeded variants of
+// the general path concurrently, score each complete mapping with the
+// METRICS completion-time model, and keep the best. Portfolio /
+// multi-start search dominates single-shot heuristics for static
+// mapping (Glantz et al.), and the candidates here are embarrassingly
+// parallel -- each owns its RNG and only reads the shared task graph
+// and (pre-warmed) topology.
+//
+// Determinism contract: the result is a pure function of the inputs
+// and `PortfolioOptions::seed`. Worker count and OS scheduling never
+// change it, because
+//   * the candidate list is enumerated up front in a fixed order and
+//     each candidate id derives its own SplitMix64 stream from
+//     (seed, id) -- no shared RNG, no rng-draw races;
+//   * candidates never communicate; results are collected by candidate
+//     id, not completion order;
+//   * the winner is the minimum of (completion, external IPC,
+//     candidate id) -- ties break by id, never by "first finished".
+//
+// Candidate 0 is always the exact single-shot pipeline the caller
+// would have run with portfolio mode off, so best-of-N can only match
+// or beat single-shot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oregami/mapper/driver.hpp"
+#include "oregami/metrics/completion_model.hpp"
+
+namespace oregami {
+
+struct PortfolioOptions {
+  /// N: seeded general-path variants (load bound x refine x NN-Embed
+  /// tie-break seed), in addition to the strategy candidates.
+  int num_seeded = 8;
+  /// Worker threads; 0 = hardware_concurrency. Never affects results.
+  int jobs = 1;
+  /// Base seed; candidate i uses an independent stream derived from
+  /// (seed, i).
+  std::uint64_t seed = 0x09E6A311u;
+  /// Cost model used to score candidates.
+  CostModel model;
+};
+
+/// Builds PortfolioOptions from the portfolio fields of MapperOptions
+/// (used by the map_computation/map_program opt-in dispatch).
+[[nodiscard]] PortfolioOptions portfolio_options_from(
+    const MapperOptions& options);
+
+/// One scored portfolio candidate (kept for the report table even when
+/// the candidate was inadmissible or infeasible).
+struct PortfolioCandidate {
+  int id = 0;
+  std::string label;     ///< e.g. "general B=5 refine nn-seed"
+  bool ok = false;       ///< produced a valid mapping
+  std::string note;      ///< strategy details, or why it failed
+  MapStrategy strategy = MapStrategy::General;
+  std::int64_t completion = 0;    ///< modelled completion time
+  std::int64_t external_ipc = 0;  ///< multiplicity-weighted cross-proc volume
+  Mapping mapping;                ///< empty when !ok
+};
+
+struct PortfolioReport {
+  MapperReport best;  ///< winning candidate as a regular MapperReport
+  int best_id = -1;
+  std::vector<PortfolioCandidate> candidates;  ///< in candidate-id order
+
+  /// Fixed-width per-candidate report table (deterministic; contains
+  /// no timing or worker-count information).
+  [[nodiscard]] std::string table() const;
+};
+
+/// Portfolio search over a bare task graph: candidates are the
+/// single-shot pipeline, each admissible Fig-3 strategy, the general
+/// path with refinement toggled, and `options.num_seeded` seeded
+/// general variants. Throws MappingError when no candidate is
+/// feasible.
+[[nodiscard]] PortfolioReport portfolio_map_computation(
+    const TaskGraph& graph, const Topology& topo,
+    const MapperOptions& base = {},
+    const PortfolioOptions& options = {});
+
+/// Portfolio search for a compiled LaRCS program: additionally fields
+/// a systolic-synthesis candidate when admissible.
+[[nodiscard]] PortfolioReport portfolio_map_program(
+    const larcs::Program& program, const larcs::CompiledProgram& compiled,
+    const Topology& topo, const MapperOptions& base = {},
+    const PortfolioOptions& options = {});
+
+}  // namespace oregami

@@ -1,0 +1,76 @@
+// A small fixed-size thread pool for MAPPER's parallel passes (the
+// portfolio mapper today; sharded/batched mapping services later).
+//
+// Design constraints, in order:
+//   * determinism support -- the pool never reorders results for the
+//     caller: submit() hands back a std::future, so a submitter that
+//     collects futures in submission order observes a schedule-
+//     independent result sequence;
+//   * exception propagation -- a task that throws stores its exception
+//     in the future (std::packaged_task semantics); nothing escapes
+//     into the worker threads;
+//   * no work stealing, no task priorities, no dynamic resizing: a
+//     single FIFO queue drained by a fixed set of workers is enough for
+//     coarse-grained mapping candidates and keeps the implementation
+//     auditable under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace oregami {
+
+class ThreadPool {
+ public:
+  /// Starts `num_workers` worker threads; `num_workers` <= 0 selects
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains the queue (pending tasks still run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_workers() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Resolves the worker count the constructor would use for `jobs`.
+  [[nodiscard]] static int resolve_workers(int jobs);
+
+  /// Enqueues `task` and returns the future of its result. Safe to call
+  /// from multiple threads and from within pool tasks (the pool never
+  /// blocks a worker on submit). If the task throws, the exception is
+  /// captured and rethrown from future::get().
+  template <typename F>
+  [[nodiscard]] auto submit(F task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // shared_ptr because std::function requires a copyable callable and
+    // packaged_task is move-only.
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::move(task));
+    std::future<R> result = packaged->get_future();
+    enqueue([packaged]() { (*packaged)(); });
+    return result;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace oregami

@@ -1,0 +1,246 @@
+// Property-based validity harness: instead of hand-picked examples,
+// generate hundreds of random (task graph, topology) instances from a
+// seeded SplitMix64 and assert the pipeline invariants the MAPPER
+// stages promise (SpiNNTools-style machine-checkable validity at every
+// stage):
+//   * every task lands on a valid processor, the contraction covers
+//     the tasks, the embedding is injective;
+//   * MWM-Contract respects its load bound B and the cluster budget P;
+//   * every routed path is a connected walk in the host topology whose
+//     endpoints match the communicating tasks' processors;
+//   * MetricsSession::move_task followed by undo returns to the exact
+//     starting metrics (the edit loop's delta accounting has no leaks).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "oregami/arch/routes.hpp"
+#include "oregami/arch/topology_spec.hpp"
+#include "oregami/mapper/driver.hpp"
+#include "oregami/mapper/mwm_contract.hpp"
+#include "oregami/metrics/metrics.hpp"
+#include "oregami/metrics/session.hpp"
+#include "oregami/support/rng.hpp"
+
+namespace oregami {
+namespace {
+
+constexpr int kCases = 220;
+constexpr std::uint64_t kBaseSeed = 0x0E6A4D1ULL;
+
+/// Random topology drawn via the textual spec layer (so the parser is
+/// exercised too). Sizes stay small enough that kCases full pipeline
+/// runs finish quickly in ctest.
+Topology random_topology(SplitMix64& rng) {
+  const auto pick = rng.next_below(9);
+  switch (pick) {
+    case 0:
+      return parse_topology_spec(
+          "ring:" + std::to_string(rng.next_in(3, 10)));
+    case 1:
+      return parse_topology_spec(
+          "chain:" + std::to_string(rng.next_in(2, 10)));
+    case 2:
+      return parse_topology_spec("mesh:" + std::to_string(rng.next_in(2, 4)) +
+                                 "x" + std::to_string(rng.next_in(2, 4)));
+    case 3:
+      return parse_topology_spec("torus:" + std::to_string(rng.next_in(3, 4)) +
+                                 "x" + std::to_string(rng.next_in(3, 4)));
+    case 4:
+      return parse_topology_spec(
+          "hypercube:" + std::to_string(rng.next_in(1, 4)));
+    case 5:
+      return parse_topology_spec(
+          "cbt:" + std::to_string(rng.next_in(2, 4)));
+    case 6:
+      return parse_topology_spec(
+          "star:" + std::to_string(rng.next_in(3, 10)));
+    case 7:
+      return parse_topology_spec(
+          "complete:" + std::to_string(rng.next_in(2, 8)));
+    default:
+      return parse_topology_spec("mesh3d:2x2x" +
+                                 std::to_string(rng.next_in(2, 3)));
+  }
+}
+
+/// Random multi-phase task graph: 1-24 tasks, 1-3 comm phases with
+/// random directed edges and volumes, 0-2 exec phases with random
+/// costs, and (half the time) a phase expression sequencing every
+/// phase with a random repetition count.
+TaskGraph random_task_graph(SplitMix64& rng) {
+  TaskGraph g;
+  const int n = static_cast<int>(rng.next_in(1, 24));
+  for (int i = 0; i < n; ++i) {
+    g.add_task("t" + std::to_string(i));
+  }
+  const int num_comm = static_cast<int>(rng.next_in(1, 3));
+  std::vector<PhaseTree> leaves;
+  for (int k = 0; k < num_comm; ++k) {
+    const int phase = g.add_comm_phase("comm" + std::to_string(k));
+    const int edges =
+        n < 2 ? 0 : static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(2 * n))) ;
+    for (int e = 0; e < edges; ++e) {
+      const int u = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      int v = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      if (u == v) {
+        v = (v + 1) % n;
+      }
+      if (u != v) {
+        g.add_comm_edge(phase, u, v, rng.next_in(1, 9));
+      }
+    }
+    leaves.push_back(PhaseTree::comm(phase));
+  }
+  const int num_exec = static_cast<int>(rng.next_in(0, 2));
+  for (int k = 0; k < num_exec; ++k) {
+    std::vector<std::int64_t> cost(static_cast<std::size_t>(n));
+    for (auto& c : cost) {
+      c = rng.next_in(0, 20);
+    }
+    const int phase = g.add_exec_phase("exec" + std::to_string(k),
+                                       std::move(cost));
+    leaves.push_back(PhaseTree::exec(phase));
+  }
+  if (rng.next_below(2) == 0) {
+    g.set_phase_expr(PhaseTree::repeat(PhaseTree::seq(std::move(leaves)),
+                                       rng.next_in(1, 4)));
+  }
+  g.validate();
+  return g;
+}
+
+/// Walk-level route check, independent of is_valid_route: consecutive
+/// nodes adjacent, each link joins its node pair, endpoints match.
+void assert_connected_walk(const Topology& topo, const Route& route,
+                           int src, int dst) {
+  ASSERT_FALSE(route.nodes.empty());
+  ASSERT_EQ(route.links.size() + 1, route.nodes.size());
+  EXPECT_EQ(route.nodes.front(), src);
+  EXPECT_EQ(route.nodes.back(), dst);
+  for (std::size_t h = 0; h < route.links.size(); ++h) {
+    const int a = route.nodes[h];
+    const int b = route.nodes[h + 1];
+    const auto link = topo.link_between(a, b);
+    ASSERT_TRUE(link.has_value())
+        << "route hops between non-adjacent processors " << a << ", " << b;
+    EXPECT_EQ(route.links[h], *link);
+  }
+  EXPECT_TRUE(is_valid_route(topo, route, src, dst));
+}
+
+void assert_metrics_equal(const MappingMetrics& a, const MappingMetrics& b) {
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.total_ipc, b.total_ipc);
+  EXPECT_EQ(a.max_dilation, b.max_dilation);
+  EXPECT_DOUBLE_EQ(a.avg_dilation, b.avg_dilation);
+  EXPECT_EQ(a.load.tasks_per_proc, b.load.tasks_per_proc);
+  EXPECT_EQ(a.load.exec_per_proc, b.load.exec_per_proc);
+  EXPECT_EQ(a.load.max_tasks, b.load.max_tasks);
+  EXPECT_EQ(a.load.max_exec, b.load.max_exec);
+  EXPECT_DOUBLE_EQ(a.load.exec_imbalance, b.load.exec_imbalance);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t k = 0; k < a.phases.size(); ++k) {
+    EXPECT_EQ(a.phases[k].contention_per_link,
+              b.phases[k].contention_per_link);
+    EXPECT_EQ(a.phases[k].volume_per_link, b.phases[k].volume_per_link);
+    EXPECT_EQ(a.phases[k].max_contention, b.phases[k].max_contention);
+    EXPECT_EQ(a.phases[k].max_dilation, b.phases[k].max_dilation);
+    EXPECT_EQ(a.phases[k].phase_time, b.phases[k].phase_time);
+  }
+}
+
+/// One generated case, all invariants. Split into a helper so the
+/// kCases loop reports the failing case seed.
+void check_case(std::uint64_t case_seed) {
+  SCOPED_TRACE("case seed " + std::to_string(case_seed));
+  SplitMix64 rng(case_seed);
+  const Topology topo = random_topology(rng);
+  const TaskGraph graph = random_task_graph(rng);
+
+  MapperOptions options;
+  options.refine = rng.next_below(2) == 0;
+  const MapperReport report = map_computation(graph, topo, options);
+
+  // Invariant 1: placement validity. validate_mapping throws on any
+  // violation; the explicit checks below keep the properties readable
+  // and guard validate_mapping itself against regressions.
+  ASSERT_NO_THROW(validate_mapping(report.mapping, graph, topo));
+  const auto procs = report.mapping.proc_of_task();
+  ASSERT_EQ(procs.size(), static_cast<std::size_t>(graph.num_tasks()));
+  for (const int p : procs) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, topo.num_procs());
+  }
+  EXPECT_LE(report.mapping.contraction.num_clusters, topo.num_procs());
+  report.mapping.contraction.validate(graph.num_tasks());
+  report.mapping.embedding.validate(topo.num_procs());
+
+  // Invariant 2: MWM-Contract honours its load bound.
+  {
+    const Graph aggregate = graph.aggregate_graph();
+    const auto contract = mwm_contract(aggregate, topo.num_procs());
+    EXPECT_LE(contract.contraction.num_clusters, topo.num_procs());
+    EXPECT_LE(contract.contraction.max_cluster_size(), contract.load_bound);
+    EXPECT_GE(contract.load_bound * topo.num_procs(), graph.num_tasks());
+  }
+
+  // Invariant 3: every route is a connected walk with matching
+  // endpoints.
+  ASSERT_EQ(report.mapping.routing.size(), graph.comm_phases().size());
+  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+    const auto& phase = graph.comm_phases()[k];
+    const auto& routing = report.mapping.routing[k];
+    ASSERT_EQ(routing.route_of_edge.size(), phase.edges.size());
+    for (std::size_t i = 0; i < phase.edges.size(); ++i) {
+      const auto& e = phase.edges[i];
+      assert_connected_walk(
+          topo, routing.route_of_edge[i],
+          procs[static_cast<std::size_t>(e.src)],
+          procs[static_cast<std::size_t>(e.dst)]);
+    }
+  }
+
+  // Invariant 4: session move + undo is an exact round trip.
+  MetricsSession session(graph, topo, report.mapping);
+  const auto procs_before = session.proc_of_task();
+  const auto metrics_before = session.metrics();
+  const int task = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(graph.num_tasks())));
+  const int target = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(topo.num_procs())));
+  const auto edit = session.move_task(task, target);
+  EXPECT_EQ(edit.completion_delta(),
+            edit.after.completion - edit.before.completion);
+  EXPECT_EQ(session.proc_of_task()[static_cast<std::size_t>(task)], target);
+  ASSERT_TRUE(session.undo());
+  EXPECT_EQ(session.proc_of_task(), procs_before);
+  assert_metrics_equal(session.metrics(), metrics_before);
+}
+
+TEST(Properties, GeneratedPipelineInvariants) {
+  SplitMix64 seeder(kBaseSeed);
+  for (int i = 0; i < kCases; ++i) {
+    check_case(seeder.next_u64());
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(Properties, GeneratorIsDeterministic) {
+  SplitMix64 a(kBaseSeed);
+  SplitMix64 b(kBaseSeed);
+  const TaskGraph ga = random_task_graph(a);
+  const TaskGraph gb = random_task_graph(b);
+  ASSERT_EQ(ga.num_tasks(), gb.num_tasks());
+  ASSERT_EQ(ga.num_comm_edges(), gb.num_comm_edges());
+  ASSERT_EQ(ga.total_volume(), gb.total_volume());
+}
+
+}  // namespace
+}  // namespace oregami

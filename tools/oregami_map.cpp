@@ -23,6 +23,7 @@
 #include "oregami/larcs/parser.hpp"
 #include "oregami/larcs/programs.hpp"
 #include "oregami/mapper/driver.hpp"
+#include "oregami/mapper/portfolio.hpp"
 #include "oregami/metrics/metrics.hpp"
 #include "oregami/metrics/render.hpp"
 #include "oregami/schedule/synchrony.hpp"
@@ -61,6 +62,12 @@ int usage(const char* argv0) {
       << "  --directives           print per-processor schedules\n"
       << "  --no-canned | --no-group | --no-systolic\n"
       << "                         disable a MAPPER strategy\n"
+      << "  --portfolio N          portfolio mode: run every admissible\n"
+      << "                         strategy plus N seeded general variants\n"
+      << "                         and keep the best (prints the table)\n"
+      << "  --jobs J               portfolio worker threads (0 = all\n"
+      << "                         cores); never changes the result\n"
+      << "  --seed S               portfolio base seed\n"
       << topology_spec_help() << "\n";
   return 2;
 }
@@ -128,6 +135,31 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.mapper.allow_group = false;
     } else if (arg == "--no-systolic") {
       options.mapper.allow_systolic = false;
+    } else if (arg == "--portfolio" || arg == "--jobs" || arg == "--seed") {
+      const auto v = next();
+      if (!v) {
+        return std::nullopt;
+      }
+      try {
+        if (arg == "--portfolio") {
+          options.mapper.portfolio = std::stoi(*v);
+        } else if (arg == "--jobs") {
+          options.mapper.jobs = std::stoi(*v);
+        } else {
+          options.mapper.portfolio_seed = std::stoull(*v);
+        }
+      } catch (const std::exception&) {
+        std::cerr << "bad " << arg << " value '" << *v << "'\n";
+        return std::nullopt;
+      }
+      if (arg == "--portfolio" && options.mapper.portfolio < 0) {
+        std::cerr << "--portfolio expects N >= 0\n";
+        return std::nullopt;
+      }
+      if (arg == "--jobs" && options.mapper.jobs < 0) {
+        std::cerr << "--jobs expects J >= 0 (0 = all cores)\n";
+        return std::nullopt;
+      }
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       return std::nullopt;
@@ -192,8 +224,17 @@ int main(int argc, char** argv) {
     const auto ast = larcs::parse_program(source);
     const auto compiled = larcs::compile(ast, options.bindings);
     const Topology topo = parse_topology_spec(*options.topology_spec);
-    const MapperReport report =
-        map_program(ast, compiled, topo, options.mapper);
+    MapperReport report;
+    std::string portfolio_table;
+    if (options.mapper.portfolio > 0) {
+      const PortfolioReport pf = portfolio_map_program(
+          ast, compiled, topo, options.mapper,
+          portfolio_options_from(options.mapper));
+      portfolio_table = pf.table();
+      report = pf.best;
+    } else {
+      report = map_program(ast, compiled, topo, options.mapper);
+    }
     const auto& graph = compiled.graph;
     const auto procs = report.mapping.proc_of_task();
     const auto metrics = compute_metrics(graph, report.mapping, topo);
@@ -203,8 +244,11 @@ int main(int argc, char** argv) {
               << "network:   " << topo.name() << "  (" << topo.num_procs()
               << " processors, " << topo.num_links() << " links)\n"
               << "strategy:  " << to_string(report.strategy) << "\n"
-              << "           " << report.details << "\n\n"
-              << render_summary(metrics) << "\n";
+              << "           " << report.details << "\n\n";
+    if (!portfolio_table.empty()) {
+      std::cout << "portfolio candidates:\n" << portfolio_table << "\n";
+    }
+    std::cout << render_summary(metrics) << "\n";
 
     if (options.ascii) {
       std::cout << "placement:\n"
