@@ -1,0 +1,384 @@
+// Perf evidence for the mapper hot-path work:
+//
+//   1. closed-form distance oracles vs the BFS-table path (a Custom
+//      topology over the same link graph -- exactly what every family
+//      paid before the oracles), cold all-pairs sweep at P >= 256;
+//   2. incremental completion-model scoring vs full recompute on a
+//      placement-refinement sweep;
+//   3. NN-Embed end-to-end (the dominant distance-oracle consumer).
+//
+// Prints the comparison tables, emits BENCH_mapper.json with the named
+// timings, then runs the google-benchmark timings.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "oregami/arch/routes.hpp"
+#include "oregami/arch/topology.hpp"
+#include "oregami/graph/shortest_paths.hpp"
+#include "oregami/mapper/driver.hpp"
+#include "oregami/mapper/mm_route.hpp"
+#include "oregami/mapper/nn_embed.hpp"
+#include "oregami/mapper/refine.hpp"
+#include "oregami/metrics/incremental.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// All-pairs distance sweep; returns a checksum so nothing is elided.
+std::int64_t sweep_all_pairs(const Topology& topo) {
+  std::int64_t sum = 0;
+  const int p = topo.num_procs();
+  for (int u = 0; u < p; ++u) {
+    const DistanceRow row = topo.distance_row(u);
+    for (int v = 0; v < p; ++v) {
+      sum += row[v];
+    }
+  }
+  return sum;
+}
+
+struct OracleFigureRow {
+  std::string family;
+  int procs = 0;
+  double oracle_s = 0.0;
+  double bfs_s = 0.0;
+  double speedup = 0.0;
+};
+
+/// Cold sweep cost of the pre-oracle path: a fresh Custom topology must
+/// run one BFS per processor to build its table before answering.
+OracleFigureRow compare_family(const Topology& topo) {
+  OracleFigureRow row;
+  row.family = topo.name();
+  row.procs = topo.num_procs();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t oracle_sum = sweep_all_pairs(topo);
+  row.oracle_s = seconds_since(t0);
+
+  const Topology custom = Topology::custom("bfs-" + topo.name(),
+                                           topo.graph());
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::int64_t bfs_sum = sweep_all_pairs(custom);
+  row.bfs_s = seconds_since(t1);
+
+  if (oracle_sum != bfs_sum) {
+    std::fprintf(stderr, "checksum mismatch on %s!\n", row.family.c_str());
+  }
+  row.speedup = row.oracle_s > 0 ? row.bfs_s / row.oracle_s : 0.0;
+  return row;
+}
+
+/// The refinement workload: every (task, candidate-processor) move of a
+/// full sweep, scored either incrementally or from scratch.
+struct RefineWorkload {
+  TaskGraph graph;
+  Topology topo = Topology::mesh(16, 16);
+  std::vector<int> procs;
+  std::vector<PhaseRouting> routing;
+};
+
+RefineWorkload make_refine_workload() {
+  RefineWorkload w;
+  // Multi-phase graph shaped like the paper programs: several comm
+  // phases plus exec phases under a repeated sequence.
+  SplitMix64 rng(0x5EEDULL);
+  const int n = 512;
+  for (int i = 0; i < n; ++i) {
+    w.graph.add_task("t" + std::to_string(i));
+  }
+  std::vector<PhaseTree> leaves;
+  for (int k = 0; k < 4; ++k) {
+    const int phase = w.graph.add_comm_phase("comm" + std::to_string(k));
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.next_double() < 0.01) {
+          w.graph.add_comm_edge(phase, u, v, rng.next_in(1, 20));
+        }
+      }
+    }
+    leaves.push_back(PhaseTree::comm(phase));
+  }
+  for (int k = 0; k < 2; ++k) {
+    std::vector<std::int64_t> cost(static_cast<std::size_t>(n));
+    for (auto& c : cost) {
+      c = rng.next_in(1, 30);
+    }
+    const int phase =
+        w.graph.add_exec_phase("exec" + std::to_string(k), std::move(cost));
+    leaves.push_back(PhaseTree::exec(phase));
+  }
+  w.graph.set_phase_expr(
+      PhaseTree::repeat(PhaseTree::seq(std::move(leaves)), 8));
+  w.graph.validate();
+  const MapperReport report = map_computation(w.graph, w.topo, {});
+  w.procs = report.mapping.proc_of_task();
+  w.routing = report.mapping.routing;
+  return w;
+}
+
+std::vector<std::pair<int, int>> sweep_moves(const RefineWorkload& w) {
+  std::vector<std::pair<int, int>> moves;
+  for (int t = 0; t < w.graph.num_tasks(); ++t) {
+    const int here = w.procs[static_cast<std::size_t>(t)];
+    for (const auto& a : w.topo.graph().neighbors(here)) {
+      moves.emplace_back(t, a.neighbor);
+    }
+  }
+  return moves;
+}
+
+std::int64_t score_sweep_incremental(
+    const RefineWorkload& w, const std::vector<std::pair<int, int>>& moves) {
+  IncrementalCompletion inc(w.graph, w.topo, w.procs, w.routing);
+  std::int64_t sum = 0;
+  for (const auto& [t, q] : moves) {
+    sum += inc.delta_move(t, q);
+  }
+  return sum;
+}
+
+std::int64_t score_sweep_full(const RefineWorkload& w,
+                              const std::vector<std::pair<int, int>>& moves) {
+  // The pre-incremental cost of one probe: copy the placement, re-route
+  // the task's incident edges, recompute the whole model.
+  const std::int64_t base =
+      completion_time(w.graph, w.procs, w.routing, w.topo);
+  std::int64_t sum = 0;
+  std::vector<int> procs = w.procs;
+  std::vector<PhaseRouting> routing = w.routing;
+  for (const auto& [t, q] : moves) {
+    const int old = procs[static_cast<std::size_t>(t)];
+    procs[static_cast<std::size_t>(t)] = q;
+    std::vector<std::pair<std::size_t, std::size_t>> touched;
+    for (std::size_t k = 0; k < w.graph.comm_phases().size(); ++k) {
+      const auto& phase = w.graph.comm_phases()[k];
+      for (std::size_t i = 0; i < phase.edges.size(); ++i) {
+        const auto& e = phase.edges[i];
+        if (e.src != t && e.dst != t) {
+          continue;
+        }
+        touched.emplace_back(k, i);
+        const int src = procs[static_cast<std::size_t>(e.src)];
+        const int dst = procs[static_cast<std::size_t>(e.dst)];
+        routing[k].route_of_edge[i] =
+            src == dst ? Route{{src}, {}}
+                       : greedy_shortest_route(w.topo, src, dst);
+      }
+    }
+    sum += completion_time(w.graph, procs, routing, w.topo) - base;
+    procs[static_cast<std::size_t>(t)] = old;
+    for (const auto& [k, i] : touched) {
+      routing[k].route_of_edge[i] = w.routing[k].route_of_edge[i];
+    }
+  }
+  return sum;
+}
+
+/// Scattered cold-source queries: one query per distinct source, the
+/// access pattern of NN-Embed candidate scans and refinement probes.
+/// The legacy path paid one BFS per first-touched source row (the old
+/// lazy per-row table); the oracle answers each in O(1).
+struct ScatterFigureRow {
+  double oracle_us = 0.0;
+  double bfs_us = 0.0;
+  double speedup = 0.0;
+};
+
+ScatterFigureRow compare_scattered(const Topology& topo) {
+  const int p = topo.num_procs();
+  SplitMix64 rng(0xACE5ULL);
+  std::vector<std::pair<int, int>> queries;
+  queries.reserve(static_cast<std::size_t>(p));
+  for (int u = 0; u < p; ++u) {
+    queries.emplace_back(
+        u, static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p))));
+  }
+
+  ScatterFigureRow row;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::int64_t oracle_sum = 0;
+  for (const auto& [u, v] : queries) {
+    oracle_sum += topo.distance(u, v);
+  }
+  row.oracle_us = seconds_since(t0) * 1e6;
+
+  const auto t1 = std::chrono::steady_clock::now();
+  std::int64_t bfs_sum = 0;
+  for (const auto& [u, v] : queries) {
+    // Row cache miss every time: sources are distinct, exactly the
+    // legacy lazy-row fill cost.
+    const std::vector<int> dist = bfs_distances(topo.graph(), u);
+    bfs_sum += dist[static_cast<std::size_t>(v)];
+  }
+  row.bfs_us = seconds_since(t1) * 1e6;
+  if (oracle_sum != bfs_sum) {
+    std::fprintf(stderr, "scattered checksum mismatch on %s!\n",
+                 topo.name().c_str());
+  }
+  row.speedup = row.oracle_us > 0 ? row.bfs_us / row.oracle_us : 0.0;
+  return row;
+}
+
+void print_figures_and_json() {
+  bench::print_header(
+      "distance queries, cold scattered sources: oracle vs per-row BFS");
+  bench::JsonReport json("BENCH_mapper.json");
+  {
+    TextTable scatter(
+        {"network", "queries", "oracle (us)", "row BFS (us)", "speedup"});
+    std::vector<Topology> scatter_targets;
+    scatter_targets.push_back(Topology::mesh(16, 16));
+    scatter_targets.push_back(Topology::torus(16, 16));
+    scatter_targets.push_back(Topology::hypercube(8));
+    scatter_targets.push_back(Topology::ring(256));
+    for (const auto& topo : scatter_targets) {
+      (void)compare_scattered(topo);  // warm-up
+      const ScatterFigureRow row = compare_scattered(topo);
+      char oracle_us[32];
+      char bfs_us[32];
+      char speedup[32];
+      std::snprintf(oracle_us, sizeof(oracle_us), "%.1f", row.oracle_us);
+      std::snprintf(bfs_us, sizeof(bfs_us), "%.1f", row.bfs_us);
+      std::snprintf(speedup, sizeof(speedup), "%.0fx", row.speedup);
+      scatter.add_row({topo.name(), std::to_string(topo.num_procs()),
+                       oracle_us, bfs_us, speedup});
+      json.add("cold_query_speedup_" + topo.name(), row.speedup, "x");
+    }
+    std::printf("%s", scatter.to_string().c_str());
+  }
+
+  bench::print_header(
+      "all-pairs sweep incl. table build: closed form vs BFS table");
+
+  std::vector<Topology> targets;
+  targets.push_back(Topology::mesh(16, 16));
+  targets.push_back(Topology::torus(16, 16));
+  targets.push_back(Topology::hypercube(8));
+  targets.push_back(Topology::ring(256));
+  targets.push_back(Topology::complete_binary_tree(8));
+  targets.push_back(Topology::butterfly(5));
+
+  TextTable table(
+      {"network", "procs", "oracle (ms)", "bfs table (ms)", "speedup"});
+  for (const auto& topo : targets) {
+    // Warm-up pass so first-touch noise does not pollute the timing.
+    (void)compare_family(topo);
+    const OracleFigureRow row = compare_family(topo);
+    char oracle_ms[32];
+    char bfs_ms[32];
+    char speedup[32];
+    std::snprintf(oracle_ms, sizeof(oracle_ms), "%.3f",
+                  row.oracle_s * 1e3);
+    std::snprintf(bfs_ms, sizeof(bfs_ms), "%.3f", row.bfs_s * 1e3);
+    std::snprintf(speedup, sizeof(speedup), "%.1fx", row.speedup);
+    table.add_row({row.family, std::to_string(row.procs), oracle_ms,
+                   bfs_ms, speedup});
+    json.add("distance_sweep_oracle_" + row.family, row.oracle_s * 1e3,
+             "ms");
+    json.add("distance_sweep_bfs_" + row.family, row.bfs_s * 1e3, "ms");
+    json.add("distance_sweep_speedup_" + row.family, row.speedup, "x");
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  bench::print_header("refinement sweep: incremental vs full recompute");
+  const RefineWorkload w = make_refine_workload();
+  const auto moves = sweep_moves(w);
+  (void)score_sweep_incremental(w, moves);  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t inc_sum = score_sweep_incremental(w, moves);
+  const double inc_s = seconds_since(t0);
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::int64_t full_sum = score_sweep_full(w, moves);
+  const double full_s = seconds_since(t1);
+  if (inc_sum != full_sum) {
+    std::fprintf(stderr, "refinement checksum mismatch (%lld vs %lld)!\n",
+                 static_cast<long long>(inc_sum),
+                 static_cast<long long>(full_sum));
+  }
+  const double refine_speedup = inc_s > 0 ? full_s / inc_s : 0.0;
+  std::printf(
+      "%zu probes over %d tasks on %s:\n"
+      "  incremental  %8.3f ms\n"
+      "  full model   %8.3f ms\n"
+      "  speedup      %8.1fx  (probe checksums agree: %s)\n",
+      moves.size(), w.graph.num_tasks(), w.topo.name().c_str(),
+      inc_s * 1e3, full_s * 1e3, refine_speedup,
+      inc_sum == full_sum ? "yes" : "NO");
+  json.add("refine_sweep_incremental", inc_s * 1e3, "ms");
+  json.add("refine_sweep_full", full_s * 1e3, "ms");
+  json.add("refine_sweep_speedup", refine_speedup, "x");
+
+  bench::print_header("NN-Embed end to end (oracle consumer)");
+  const Graph cluster = bench::random_task_graph(256, 0.05, 0xC0FFEEULL)
+                            .aggregate_graph();
+  const Topology mesh = Topology::mesh(16, 16);
+  (void)nn_embed(cluster, mesh);  // warm-up
+  const auto t2 = std::chrono::steady_clock::now();
+  const Embedding embedding = nn_embed(cluster, mesh);
+  const double nn_s = seconds_since(t2);
+  std::printf("nn_embed(256 clusters -> mesh 16x16): %.3f ms (dilation %lld)\n",
+              nn_s * 1e3,
+              static_cast<long long>(
+                  weighted_dilation(cluster, embedding, mesh)));
+  json.add("nn_embed_256_mesh16x16", nn_s * 1e3, "ms");
+
+  json.write();
+}
+
+void BM_OracleAllPairsMesh16(benchmark::State& state) {
+  const Topology topo = Topology::mesh(16, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_all_pairs(topo));
+  }
+}
+BENCHMARK(BM_OracleAllPairsMesh16);
+
+void BM_BfsTableAllPairsMesh16(benchmark::State& state) {
+  const Topology topo = Topology::mesh(16, 16);
+  for (auto _ : state) {
+    const Topology custom = Topology::custom("bfs", topo.graph());
+    benchmark::DoNotOptimize(sweep_all_pairs(custom));
+  }
+}
+BENCHMARK(BM_BfsTableAllPairsMesh16);
+
+void BM_IncrementalRefineSweep(benchmark::State& state) {
+  const RefineWorkload w = make_refine_workload();
+  const auto moves = sweep_moves(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(score_sweep_incremental(w, moves));
+  }
+}
+BENCHMARK(BM_IncrementalRefineSweep);
+
+void BM_RefinePlacementMesh8x8(benchmark::State& state) {
+  const RefineWorkload w = make_refine_workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        refine_placement(w.graph, w.topo, w.procs, w.routing));
+  }
+}
+BENCHMARK(BM_RefinePlacementMesh8x8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures_and_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

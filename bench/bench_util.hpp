@@ -80,4 +80,50 @@ inline void print_header(const char* title) {
   std::printf("\n================ %s ================\n", title);
 }
 
+/// Machine-readable perf trajectory: named scalar results collected
+/// during a bench run and written as one JSON document (e.g.
+/// BENCH_mapper.json), so CI and future sessions can diff numbers
+/// without parsing the human tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    entries_.push_back({name, value, unit});
+  }
+
+  /// Writes {"benchmarks": [{"name":..., "value":..., "unit":...}]}.
+  /// Returns false (and prints to stderr) when the file cannot be
+  /// opened; benches still exit 0 so smoke runs never fail on fs state.
+  bool write() const {
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"value\": %.6g, "
+                   "\"unit\": \"%s\"}%s\n",
+                   e.name.c_str(), e.value, e.unit.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s (%zu entries)\n", path_.c_str(), entries_.size());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace oregami::bench

@@ -1,6 +1,7 @@
 #include "oregami/arch/topology.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "oregami/graph/gray_code.hpp"
 #include "oregami/graph/shortest_paths.hpp"
@@ -42,7 +43,9 @@ Topology::Topology(std::string name, TopoFamily family,
       family_(family),
       shape_(std::move(shape)),
       links_(std::move(links)),
-      dist_rows_(static_cast<std::size_t>(links_.num_vertices())) {}
+      custom_dist_(family == TopoFamily::Custom
+                       ? std::make_shared<CustomDistances>()
+                       : nullptr) {}
 
 Topology Topology::ring(int p) {
   OREGAMI_ASSERT(p >= 3, "ring needs at least 3 processors");
@@ -212,34 +215,173 @@ std::pair<int, int> Topology::link_endpoints(int l) const {
   return {e.u, e.v};
 }
 
-const std::vector<int>& Topology::distance_row(int u) const {
-  OREGAMI_ASSERT(u >= 0 && u < num_procs(), "processor id out of range");
-  auto& row = dist_rows_[static_cast<std::size_t>(u)];
-  if (row.empty() && num_procs() > 0) {
-    row = bfs_distances(links_, u);
-  }
-  return row;
+const Topology::CustomDistances& Topology::custom_distances() const {
+  auto& state = *custom_dist_;
+  // call_once both serialises the fill and publishes it: every thread
+  // returning from here sees the completed table, so an unwarmed Custom
+  // topology can be shared across threads safely (the hazard the PR-1
+  // portfolio worked around with an explicit pre-warm).
+  std::call_once(state.once, [&] {
+    const int p = num_procs();
+    state.flat.resize(static_cast<std::size_t>(p) *
+                      static_cast<std::size_t>(p));
+    for (int u = 0; u < p; ++u) {
+      const std::vector<int> row = bfs_distances(links_, u);
+      std::copy(row.begin(), row.end(),
+                state.flat.begin() +
+                    static_cast<std::ptrdiff_t>(u) * p);
+    }
+    for (const int d : state.flat) {
+      state.min_entry = std::min(state.min_entry, d);
+      state.diameter = std::max(state.diameter, d);
+    }
+  });
+  return state;
 }
 
 int Topology::distance(int u, int v) const {
-  return distance_row(u)[static_cast<std::size_t>(v)];
+  OREGAMI_ASSERT(u >= 0 && u < num_procs() && v >= 0 && v < num_procs(),
+                 "processor id out of range");
+  switch (family_) {
+    case TopoFamily::Ring: {
+      const int d = u < v ? v - u : u - v;
+      return std::min(d, shape_[0] - d);
+    }
+    case TopoFamily::Chain:
+      return u < v ? v - u : u - v;
+    case TopoFamily::Mesh: {
+      const int cols = shape_[1];
+      const int dr = u / cols - v / cols;
+      const int dc = u % cols - v % cols;
+      return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+    }
+    case TopoFamily::Torus: {
+      const int rows = shape_[0];
+      const int cols = shape_[1];
+      int dr = u / cols - v / cols;
+      int dc = u % cols - v % cols;
+      dr = dr < 0 ? -dr : dr;
+      dc = dc < 0 ? -dc : dc;
+      return std::min(dr, rows - dr) + std::min(dc, cols - dc);
+    }
+    case TopoFamily::Hypercube:
+      return std::popcount(static_cast<unsigned>(u ^ v));
+    case TopoFamily::CompleteBinaryTree: {
+      // Heap numbering (children of v are 2v+1, 2v+2): lift the deeper
+      // node to the other's level, then lift both to the LCA.
+      int a = u;
+      int b = v;
+      int da = static_cast<int>(
+                   std::bit_width(static_cast<unsigned>(a) + 1u)) - 1;
+      int db = static_cast<int>(
+                   std::bit_width(static_cast<unsigned>(b) + 1u)) - 1;
+      int d = 0;
+      for (; da > db; --da, ++d) {
+        a = (a - 1) / 2;
+      }
+      for (; db > da; --db, ++d) {
+        b = (b - 1) / 2;
+      }
+      while (a != b) {
+        a = (a - 1) / 2;
+        b = (b - 1) / 2;
+        d += 2;
+      }
+      return d;
+    }
+    case TopoFamily::Star:
+      return u == v ? 0 : (u == 0 || v == 0 ? 1 : 2);
+    case TopoFamily::Complete:
+      return u == v ? 0 : 1;
+    case TopoFamily::Butterfly: {
+      // Node = (rank, column). The only edges sit between consecutive
+      // ranks, and crossing the (b, b+1) transition may flip column bit
+      // b. A walk from rank r1 to r2 that fixes the differing bits must
+      // therefore visit rank lo = lowest differing bit and rank hi =
+      // highest differing bit + 1; the cheapest such walk sweeps down
+      // first or up first, whichever is shorter.
+      const int cols = 1 << shape_[0];
+      const int r1 = u / cols;
+      const int r2 = v / cols;
+      const unsigned diff =
+          static_cast<unsigned>((u % cols) ^ (v % cols));
+      if (diff == 0) {
+        return r1 < r2 ? r2 - r1 : r1 - r2;
+      }
+      const int lo = std::countr_zero(diff);
+      const int hi = static_cast<int>(std::bit_width(diff));
+      const int low = std::min({r1, r2, lo});
+      const int high = std::max({r1, r2, hi});
+      const int down_first = (r1 - low) + (high - low) + (high - r2);
+      const int up_first = (high - r1) + (high - low) + (r2 - low);
+      return std::min(down_first, up_first);
+    }
+    case TopoFamily::Mesh3D: {
+      const int ny = shape_[1];
+      const int nz = shape_[2];
+      const int dx = u / (ny * nz) - v / (ny * nz);
+      const int dy = (u / nz) % ny - (v / nz) % ny;
+      const int dz = u % nz - v % nz;
+      return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy) +
+             (dz < 0 ? -dz : dz);
+    }
+    case TopoFamily::Custom:
+      return custom_distances()
+          .flat[static_cast<std::size_t>(u) *
+                    static_cast<std::size_t>(num_procs()) +
+                static_cast<std::size_t>(v)];
+  }
+  return 0;  // unreachable
+}
+
+DistanceRow Topology::distance_row(int u) const {
+  OREGAMI_ASSERT(u >= 0 && u < num_procs(), "processor id out of range");
+  const int* row = nullptr;
+  if (family_ == TopoFamily::Custom) {
+    row = custom_distances().flat.data() +
+          static_cast<std::size_t>(u) * static_cast<std::size_t>(num_procs());
+  }
+  return DistanceRow(*this, u, row);
 }
 
 void Topology::precompute_distances() const {
-  for (int u = 0; u < num_procs(); ++u) {
-    (void)distance_row(u);
+  if (family_ == TopoFamily::Custom && num_procs() > 0) {
+    (void)custom_distances();
   }
 }
 
 int Topology::diameter() const {
-  int best = 0;
-  for (int u = 0; u < num_procs(); ++u) {
-    for (const int d : distance_row(u)) {
-      OREGAMI_ASSERT(d >= 0, "topology must be connected");
-      best = std::max(best, d);
+  switch (family_) {
+    case TopoFamily::Ring:
+      return shape_[0] / 2;
+    case TopoFamily::Chain:
+      return shape_[0] - 1;
+    case TopoFamily::Mesh:
+      return (shape_[0] - 1) + (shape_[1] - 1);
+    case TopoFamily::Torus:
+      return shape_[0] / 2 + shape_[1] / 2;
+    case TopoFamily::Hypercube:
+      return shape_[0];
+    case TopoFamily::CompleteBinaryTree:
+      return 2 * (shape_[0] - 1);
+    case TopoFamily::Star:
+      return num_procs() <= 2 ? num_procs() - 1 : 2;
+    case TopoFamily::Complete:
+      return 1;
+    case TopoFamily::Butterfly:
+      return 2 * shape_[0];
+    case TopoFamily::Mesh3D:
+      return (shape_[0] - 1) + (shape_[1] - 1) + (shape_[2] - 1);
+    case TopoFamily::Custom: {
+      if (num_procs() == 0) {
+        return 0;
+      }
+      const auto& state = custom_distances();
+      OREGAMI_ASSERT(state.min_entry >= 0, "topology must be connected");
+      return state.diameter;
     }
   }
-  return best;
+  return 0;  // unreachable
 }
 
 std::string Topology::proc_label(int p) const {

@@ -4,9 +4,17 @@
 //
 // A Topology is an undirected link graph over processors [0, P), plus
 // family metadata (so canned mappings and dimension-order routing can
-// exploit structure) and a lazily cached all-pairs hop-distance table.
+// exploit structure). Hop distances come from closed-form O(1) oracles
+// for every regular family (index arithmetic, per-axis Manhattan,
+// popcount, LCA depth, butterfly rank arithmetic); only Custom
+// topologies fall back to a BFS all-pairs table, stored as one flat
+// row-major allocation and filled exactly once under std::call_once.
+// Every const distance query is therefore allocation-free and safe to
+// call concurrently from multiple threads.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +38,30 @@ enum class TopoFamily {
 };
 
 [[nodiscard]] std::string to_string(TopoFamily family);
+
+class Topology;
+
+/// View of one source row of the hop-distance matrix. For Custom
+/// topologies it points straight into the flat BFS table; for regular
+/// families each access evaluates the closed-form oracle. Cheap to
+/// copy, valid as long as the Topology it came from.
+class DistanceRow {
+ public:
+  [[nodiscard]] int operator[](int v) const;
+  [[nodiscard]] int operator[](std::size_t v) const {
+    return (*this)[static_cast<int>(v)];
+  }
+  [[nodiscard]] int source() const { return u_; }
+
+ private:
+  friend class Topology;
+  DistanceRow(const Topology& topo, int u, const int* row)
+      : topo_(&topo), u_(u), row_(row) {}
+
+  const Topology* topo_;
+  int u_;
+  const int* row_;  ///< flat table row (Custom) or nullptr (closed form)
+};
 
 class Topology {
  public:
@@ -61,17 +93,19 @@ class Topology {
   /// Endpoints of link `l` (normalised u < v).
   [[nodiscard]] std::pair<int, int> link_endpoints(int l) const;
 
-  /// Hop distance (BFS), cached one source row at a time.
+  /// Hop distance: closed-form O(1) for every regular family, flat BFS
+  /// table lookup for Custom (filled once, thread-safely). For a
+  /// disconnected Custom topology unreachable pairs report -1, matching
+  /// bfs_distances().
   [[nodiscard]] int distance(int u, int v) const;
 
-  /// Full distance row from `u` (cached).
-  [[nodiscard]] const std::vector<int>& distance_row(int u) const;
+  /// Distance row view from `u` (see DistanceRow).
+  [[nodiscard]] DistanceRow distance_row(int u) const;
 
-  /// Fills every row of the distance cache. After this returns, all
-  /// const queries (distance, distance_row, diameter) only read the
-  /// cache and are safe to call concurrently from multiple threads --
-  /// the portfolio mapper calls this once before fanning candidates
-  /// out to its thread pool.
+  /// Forces the Custom BFS table to be built now (no-op for regular
+  /// families, whose oracles never allocate). Purely an optional
+  /// warm-up: all const distance queries are thread-safe without it --
+  /// the Custom fill is guarded by std::call_once.
   void precompute_distances() const;
 
   [[nodiscard]] int diameter() const;
@@ -90,14 +124,29 @@ class Topology {
   Topology(std::string name, TopoFamily family, std::vector<int> shape,
            Graph links);
 
+  /// Custom-family lazy state: one flat row-major P*P table, built
+  /// exactly once. Held by shared_ptr so copies of a Topology share the
+  /// (immutable-once-published) table instead of re-running BFS.
+  struct CustomDistances {
+    std::once_flag once;
+    std::vector<int> flat;  ///< row-major, flat[u * P + v]
+    int min_entry = 0;      ///< < 0 iff the graph is disconnected
+    int diameter = 0;
+  };
+
+  [[nodiscard]] const CustomDistances& custom_distances() const;
+
   std::string name_;
   TopoFamily family_;
   std::vector<int> shape_;
   Graph links_;
-  // Lazy per-source distance cache; mutable because distance queries
-  // are logically const. Lazy filling is not thread-safe; call
-  // precompute_distances() before sharing a Topology across threads.
-  mutable std::vector<std::vector<int>> dist_rows_;
+  // Allocated only for Custom; mutable because the once-fill happens
+  // behind logically-const distance queries.
+  mutable std::shared_ptr<CustomDistances> custom_dist_;
 };
+
+inline int DistanceRow::operator[](int v) const {
+  return row_ != nullptr ? row_[v] : topo_->distance(u_, v);
+}
 
 }  // namespace oregami

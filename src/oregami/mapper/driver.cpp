@@ -94,6 +94,32 @@ Embedding embed_clusters(const TaskGraph& graph,
 
 namespace {
 
+/// Rebuilds the three-layer mapping from a flat task placement:
+/// clusters are the occupied processors in ascending order.
+Mapping mapping_from_placement(const std::vector<int>& proc_of_task,
+                               std::vector<PhaseRouting> routing,
+                               int num_procs) {
+  std::vector<int> cluster_of_proc(static_cast<std::size_t>(num_procs), -1);
+  Mapping mapping;
+  for (const int p : proc_of_task) {
+    cluster_of_proc[static_cast<std::size_t>(p)] = 0;
+  }
+  for (int p = 0; p < num_procs; ++p) {
+    if (cluster_of_proc[static_cast<std::size_t>(p)] == 0) {
+      cluster_of_proc[static_cast<std::size_t>(p)] =
+          mapping.contraction.num_clusters++;
+      mapping.embedding.proc_of_cluster.push_back(p);
+    }
+  }
+  mapping.contraction.cluster_of_task.reserve(proc_of_task.size());
+  for (const int p : proc_of_task) {
+    mapping.contraction.cluster_of_task.push_back(
+        cluster_of_proc[static_cast<std::size_t>(p)]);
+  }
+  mapping.routing = std::move(routing);
+  return mapping;
+}
+
 MapperReport finish(MapStrategy strategy, std::string details,
                     Contraction contraction, Embedding embedding,
                     const TaskGraph& graph, const Topology& topo,
@@ -105,6 +131,26 @@ MapperReport finish(MapStrategy strategy, std::string details,
   report.mapping.embedding = std::move(embedding);
   report.mapping.routing = mm_route(
       graph, report.mapping.proc_of_task(), topo, options.routing);
+  if (options.refine_placement) {
+    // Never loosen the load balance the strategy achieved: bound moves
+    // by the explicit B when given, else the current largest cluster.
+    const int bound = options.load_bound_B > 0
+                          ? options.load_bound_B
+                          : report.mapping.contraction.max_cluster_size();
+    PlacementRefineResult refined = refine_placement(
+        graph, topo, report.mapping.proc_of_task(),
+        report.mapping.routing, /*model=*/{}, bound);
+    if (refined.moves > 0) {
+      report.details += "; placement refinement -" +
+                        std::to_string(refined.improvement()) +
+                        " completion (" + std::to_string(refined.moves) +
+                        " moves)";
+      report.mapping =
+          mapping_from_placement(refined.proc_of_task,
+                                 std::move(refined.routing),
+                                 topo.num_procs());
+    }
+  }
   validate_mapping(report.mapping, graph, topo);
   return report;
 }

@@ -42,6 +42,12 @@ struct MapperOptions {
   /// Polish the general path's contraction with the KL/FM boundary
   /// refinement pass (see refine.hpp).
   bool refine = false;
+  /// Polish the final placement of *any* strategy by hill climbing on
+  /// the completion model itself (refine_placement in refine.hpp,
+  /// powered by the incremental evaluator). Off by default: it may
+  /// change outputs, and the portfolio's bit-determinism contract pins
+  /// the default pipeline.
+  bool refine_placement = false;
   /// Portfolio mode (mapper/portfolio.hpp): when > 0,
   /// map_computation/map_program run every admissible Fig-3 strategy
   /// plus this many seeded general-path variants concurrently and

@@ -1,6 +1,7 @@
 #include "oregami/mapper/nn_embed.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "oregami/support/error.hpp"
 #include "oregami/support/rng.hpp"
@@ -120,6 +121,7 @@ Embedding nn_embed_impl(const Graph& cluster_graph, const Topology& topo,
   }
 
   std::vector<std::int64_t> weight_to_placed(static_cast<std::size_t>(c));
+  std::vector<std::pair<int, std::int64_t>> placed_neighbors;
   while (placed_count < c) {
     // Next cluster: max communication to the placed set.
     Pick next_pick(rng);
@@ -145,7 +147,17 @@ Embedding nn_embed_impl(const Graph& cluster_graph, const Topology& topo,
     // Best free processor: minimise weighted distance to placed
     // neighbours. With the lowest-id rule, clusters with no placed
     // neighbours land on the lowest free processor; seeded runs spread
-    // them uniformly over the free set.
+    // them uniformly over the free set. The placed neighbours are
+    // gathered once (same order as the adjacency walk, so the cost sum
+    // is bit-identical) instead of being re-filtered per processor.
+    placed_neighbors.clear();
+    for (const auto& a : cluster_graph.neighbors(next)) {
+      if (placed[static_cast<std::size_t>(a.neighbor)]) {
+        placed_neighbors.emplace_back(
+            embedding.proc_of_cluster[static_cast<std::size_t>(a.neighbor)],
+            a.weight);
+      }
+    }
     Pick proc_pick(rng);
     std::int64_t best_cost = 0;
     for (int proc = 0; proc < p; ++proc) {
@@ -153,13 +165,8 @@ Embedding nn_embed_impl(const Graph& cluster_graph, const Topology& topo,
         continue;
       }
       std::int64_t cost = 0;
-      for (const auto& a : cluster_graph.neighbors(next)) {
-        if (placed[static_cast<std::size_t>(a.neighbor)]) {
-          const int other =
-              embedding
-                  .proc_of_cluster[static_cast<std::size_t>(a.neighbor)];
-          cost += a.weight * topo.distance(proc, other);
-        }
+      for (const auto& [other, weight] : placed_neighbors) {
+        cost += weight * topo.distance(proc, other);
       }
       const bool first = proc_pick.chosen() == -1;
       proc_pick.offer(proc, !first && cost < best_cost,

@@ -94,11 +94,10 @@ void add_seeded_variants(std::vector<CandidateSpec>* specs,
 PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
                               const PortfolioOptions& options,
                               std::vector<CandidateSpec> specs) {
-  // Shared read-only state must really be read-only under the pool:
-  // the topology's lazy distance cache is the one mutable piece, so
-  // fill it before fanning out.
-  topo.precompute_distances();
-
+  // Shared read-only state really is read-only under the pool: regular
+  // families answer distance queries with closed-form oracles, and the
+  // Custom family's lazy BFS table is published under std::call_once,
+  // so no pre-warm is needed before fanning out.
   ThreadPool pool(options.jobs);
   std::vector<std::future<PortfolioCandidate>> futures;
   futures.reserve(specs.size());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "oregami/metrics/incremental.hpp"
 #include "oregami/support/error.hpp"
 
 namespace oregami {
@@ -130,6 +131,91 @@ RefineResult refine_contraction(const Graph& task_graph,
                  "refinement must never worsen the contraction");
   contraction.validate(n);
   result.contraction = std::move(contraction);
+  return result;
+}
+
+PlacementRefineResult refine_placement(const TaskGraph& graph,
+                                       const Topology& topo,
+                                       std::vector<int> proc_of_task,
+                                       std::vector<PhaseRouting> routing,
+                                       const CostModel& model,
+                                       int load_bound_B, int max_passes) {
+  const int n = graph.num_tasks();
+  IncrementalCompletion inc(graph, topo, std::move(proc_of_task),
+                            std::move(routing), model);
+
+  PlacementRefineResult result;
+  result.completion_before = inc.completion();
+
+  std::vector<int> tasks_on_proc(static_cast<std::size_t>(topo.num_procs()),
+                                 0);
+  for (const int p : inc.proc_of_task()) {
+    ++tasks_on_proc[static_cast<std::size_t>(p)];
+  }
+
+  // Communication partners of each task under the static aggregate
+  // (phase-independent, so computed once).
+  std::vector<std::vector<int>> partners(static_cast<std::size_t>(n));
+  for (const auto& phase : graph.comm_phases()) {
+    for (const auto& e : phase.edges) {
+      if (e.src != e.dst) {
+        partners[static_cast<std::size_t>(e.src)].push_back(e.dst);
+        partners[static_cast<std::size_t>(e.dst)].push_back(e.src);
+      }
+    }
+  }
+  std::vector<int> candidates;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++result.passes;
+    bool improved = false;
+    for (int t = 0; t < n; ++t) {
+      const int here = inc.proc_of_task()[static_cast<std::size_t>(t)];
+      candidates.clear();
+      for (const auto& a : topo.graph().neighbors(here)) {
+        candidates.push_back(a.neighbor);
+      }
+      for (const int u : partners[static_cast<std::size_t>(t)]) {
+        candidates.push_back(inc.proc_of_task()[static_cast<std::size_t>(u)]);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+
+      std::int64_t best_delta = 0;
+      int best_proc = -1;
+      for (const int q : candidates) {
+        if (q == here) {
+          continue;
+        }
+        if (load_bound_B > 0 &&
+            tasks_on_proc[static_cast<std::size_t>(q)] >= load_bound_B) {
+          continue;
+        }
+        const std::int64_t delta = inc.delta_move(t, q);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_proc = q;
+        }
+      }
+      if (best_proc < 0) {
+        continue;
+      }
+      inc.apply_move(t, best_proc);
+      --tasks_on_proc[static_cast<std::size_t>(here)];
+      ++tasks_on_proc[static_cast<std::size_t>(best_proc)];
+      ++result.moves;
+      improved = true;
+    }
+    if (!improved) {
+      break;
+    }
+  }
+
+  result.completion_after = inc.completion();
+  OREGAMI_ASSERT(result.completion_after <= result.completion_before,
+                 "placement refinement must never worsen completion");
+  result.proc_of_task = inc.proc_of_task();
+  result.routing = inc.routing();
   return result;
 }
 

@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "oregami/core/mapping.hpp"
 #include "oregami/graph/graph.hpp"
+#include "oregami/metrics/completion_model.hpp"
 
 namespace oregami {
 
@@ -36,5 +38,32 @@ struct RefineResult {
                                               Contraction contraction,
                                               int load_bound_B,
                                               int max_passes = 8);
+
+struct PlacementRefineResult {
+  std::vector<int> proc_of_task;
+  std::vector<PhaseRouting> routing;  ///< greedy re-routes of moved edges
+  std::int64_t completion_before = 0;
+  std::int64_t completion_after = 0;
+  int moves = 0;
+  int passes = 0;
+
+  [[nodiscard]] std::int64_t improvement() const {
+    return completion_before - completion_after;
+  }
+};
+
+/// Processor-level hill climbing on the completion model itself, after
+/// contraction and embedding are fixed. Sweeps tasks in id order; for
+/// each, probes moving it to every candidate processor (the network
+/// neighbours of its current processor, plus the processors hosting its
+/// communication partners) with IncrementalCompletion::delta_move and
+/// commits the strictly-improving move with the largest gain (ties:
+/// lowest processor id). A move is admitted only while the destination
+/// hosts fewer than `load_bound_B` tasks (0 = unbounded). Deterministic;
+/// never worsens the completion time; `max_passes` bounds the sweeps.
+[[nodiscard]] PlacementRefineResult refine_placement(
+    const TaskGraph& graph, const Topology& topo,
+    std::vector<int> proc_of_task, std::vector<PhaseRouting> routing,
+    const CostModel& model = {}, int load_bound_B = 0, int max_passes = 4);
 
 }  // namespace oregami

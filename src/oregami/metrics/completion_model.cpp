@@ -13,8 +13,11 @@ std::int64_t comm_phase_time(const TaskGraph& graph, int phase_index,
       graph.comm_phases()[static_cast<std::size_t>(phase_index)];
   OREGAMI_ASSERT(routing.route_of_edge.size() == phase.edges.size(),
                  "routing must cover the phase");
-  std::vector<std::int64_t> volume_on_link(
-      static_cast<std::size_t>(topo.num_links()), 0);
+  // Scratch reused across calls (per thread): refinement sweeps and
+  // portfolio scoring call this in a tight loop, and the per-call
+  // vector allocation dominated the profile.
+  thread_local std::vector<std::int64_t> volume_on_link;
+  volume_on_link.assign(static_cast<std::size_t>(topo.num_links()), 0);
   int max_hops = 0;
   for (std::size_t i = 0; i < phase.edges.size(); ++i) {
     const auto& route = routing.route_of_edge[i];
@@ -37,7 +40,8 @@ std::int64_t exec_phase_time(const TaskGraph& graph, int phase_index,
                              int num_procs) {
   const auto& phase =
       graph.exec_phases()[static_cast<std::size_t>(phase_index)];
-  std::vector<std::int64_t> load(static_cast<std::size_t>(num_procs), 0);
+  thread_local std::vector<std::int64_t> load;
+  load.assign(static_cast<std::size_t>(num_procs), 0);
   for (int t = 0; t < graph.num_tasks(); ++t) {
     load[static_cast<std::size_t>(proc_of_task[static_cast<std::size_t>(t)])] +=
         phase.cost[static_cast<std::size_t>(t)];

@@ -1,0 +1,452 @@
+#include "oregami/metrics/incremental.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "oregami/arch/routes.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+namespace {
+constexpr std::int64_t kNoSecond = std::numeric_limits<std::int64_t>::min();
+
+std::int64_t cost_of(const ExecPhase& phase, int task) {
+  // An empty cost vector means all-zero (TaskGraph contract).
+  return phase.cost.empty()
+             ? 0
+             : phase.cost[static_cast<std::size_t>(task)];
+}
+}  // namespace
+
+IncrementalCompletion::IncrementalCompletion(
+    const TaskGraph& graph, const Topology& topo,
+    std::vector<int> proc_of_task, std::vector<PhaseRouting> routing,
+    CostModel model)
+    : graph_(graph),
+      topo_(topo),
+      model_(model),
+      proc_of_task_(std::move(proc_of_task)),
+      routing_(std::move(routing)) {
+  const int num_tasks = graph_.num_tasks();
+  const int num_procs = topo_.num_procs();
+  OREGAMI_ASSERT(static_cast<int>(proc_of_task_.size()) == num_tasks,
+                 "placement must cover every task");
+  OREGAMI_ASSERT(routing_.size() == graph_.comm_phases().size(),
+                 "routing must cover every comm phase");
+  for (const int p : proc_of_task_) {
+    OREGAMI_ASSERT(p >= 0 && p < num_procs, "task placed off-topology");
+  }
+
+  incident_.assign(static_cast<std::size_t>(num_tasks), {});
+  comm_.resize(graph_.comm_phases().size());
+  for (std::size_t k = 0; k < graph_.comm_phases().size(); ++k) {
+    const auto& phase = graph_.comm_phases()[k];
+    OREGAMI_ASSERT(routing_[k].route_of_edge.size() == phase.edges.size(),
+                   "routing must cover the phase");
+    auto& state = comm_[k];
+    state.volume.assign(static_cast<std::size_t>(topo_.num_links()), 0);
+    for (std::size_t i = 0; i < phase.edges.size(); ++i) {
+      const auto& edge = phase.edges[i];
+      OREGAMI_ASSERT(edge.volume >= 0, "negative comm volume");
+      const auto& route = routing_[k].route_of_edge[i];
+      for (const int link : route.links) {
+        state.volume[static_cast<std::size_t>(link)] += edge.volume;
+      }
+      if (static_cast<int>(state.hops_hist.size()) <= route.hops()) {
+        state.hops_hist.resize(static_cast<std::size_t>(route.hops()) + 1,
+                               0);
+      }
+      ++state.hops_hist[static_cast<std::size_t>(route.hops())];
+      incident_[static_cast<std::size_t>(edge.src)].push_back(
+          {static_cast<int>(k), static_cast<int>(i)});
+      if (edge.dst != edge.src) {
+        incident_[static_cast<std::size_t>(edge.dst)].push_back(
+            {static_cast<int>(k), static_cast<int>(i)});
+      }
+    }
+    rebuild_comm_maxima(state);
+  }
+
+  exec_.resize(graph_.exec_phases().size());
+  for (std::size_t k = 0; k < graph_.exec_phases().size(); ++k) {
+    const auto& phase = graph_.exec_phases()[k];
+    auto& state = exec_[k];
+    state.load.assign(static_cast<std::size_t>(num_procs), 0);
+    for (int t = 0; t < num_tasks; ++t) {
+      const std::int64_t c = cost_of(phase, t);
+      OREGAMI_ASSERT(c >= 0, "negative exec cost");
+      state.load[static_cast<std::size_t>(
+          proc_of_task_[static_cast<std::size_t>(t)])] += c;
+    }
+    rebuild_exec_tracker(state);
+  }
+
+  comm_times_.resize(comm_.size());
+  for (std::size_t k = 0; k < comm_.size(); ++k) {
+    comm_times_[k] = comm_time_of(comm_[k]);
+  }
+  exec_times_.resize(exec_.size());
+  for (std::size_t k = 0; k < exec_.size(); ++k) {
+    exec_times_[k] = exec_[k].max;
+  }
+  completion_ = combine(comm_times_, exec_times_);
+
+  link_delta_.assign(static_cast<std::size_t>(topo_.num_links()), 0);
+}
+
+IncrementalCompletion::IncrementalCompletion(const TaskGraph& graph,
+                                             const Topology& topo,
+                                             const Mapping& mapping,
+                                             CostModel model)
+    : IncrementalCompletion(graph, topo, mapping.proc_of_task(),
+                            mapping.routing, model) {}
+
+void IncrementalCompletion::rebuild_exec_tracker(ExecState& state) const {
+  state.max = 0;
+  state.count_at_max = 0;
+  state.second = kNoSecond;
+  for (const std::int64_t load : state.load) {
+    if (load > state.max) {
+      state.second = state.max;
+      state.max = load;
+      state.count_at_max = 1;
+    } else if (load == state.max) {
+      ++state.count_at_max;
+    } else if (load > state.second) {
+      state.second = load;
+    }
+  }
+  // All-zero loads leave second at the sentinel; normalise so the
+  // "unique max holder shrinks" branch can use it directly.
+  if (state.second == kNoSecond) {
+    state.second = 0;
+  }
+}
+
+void IncrementalCompletion::rebuild_comm_maxima(CommState& state) const {
+  state.max_volume =
+      state.volume.empty()
+          ? 0
+          : *std::max_element(state.volume.begin(), state.volume.end());
+  state.max_hops = 0;
+  for (std::size_t h = state.hops_hist.size(); h-- > 0;) {
+    if (state.hops_hist[h] > 0) {
+      state.max_hops = static_cast<int>(h);
+      break;
+    }
+  }
+}
+
+Route IncrementalCompletion::route_for(int phase, int edge) const {
+  const auto& e = graph_.comm_phases()[static_cast<std::size_t>(phase)]
+                      .edges[static_cast<std::size_t>(edge)];
+  const int src = proc_of_task_[static_cast<std::size_t>(e.src)];
+  const int dst = proc_of_task_[static_cast<std::size_t>(e.dst)];
+  if (src == dst) {
+    return Route{{src}, {}};
+  }
+  return greedy_shortest_route(topo_, src, dst);
+}
+
+std::int64_t IncrementalCompletion::comm_time_of(
+    const CommState& state) const {
+  return state.max_volume * model_.per_unit_cost +
+         static_cast<std::int64_t>(state.max_hops) * model_.hop_latency;
+}
+
+std::int64_t IncrementalCompletion::walk(
+    const PhaseTree& node, const std::vector<std::int64_t>& comm_times,
+    const std::vector<std::int64_t>& exec_times) const {
+  switch (node.kind) {
+    case PhaseTree::Kind::Idle:
+      return 0;
+    case PhaseTree::Kind::Comm:
+      return comm_times[static_cast<std::size_t>(node.phase_index)];
+    case PhaseTree::Kind::Exec:
+      return exec_times[static_cast<std::size_t>(node.phase_index)];
+    case PhaseTree::Kind::Seq: {
+      std::int64_t total = 0;
+      for (const auto& child : node.children) {
+        total += walk(child, comm_times, exec_times);
+      }
+      return total;
+    }
+    case PhaseTree::Kind::Par: {
+      std::int64_t best = 0;
+      for (const auto& child : node.children) {
+        best = std::max(best, walk(child, comm_times, exec_times));
+      }
+      return best;
+    }
+    case PhaseTree::Kind::Repeat:
+      return node.count *
+             walk(node.children.front(), comm_times, exec_times);
+  }
+  return 0;
+}
+
+std::int64_t IncrementalCompletion::combine(
+    const std::vector<std::int64_t>& comm_times,
+    const std::vector<std::int64_t>& exec_times) const {
+  if (graph_.phase_expr().kind == PhaseTree::Kind::Idle) {
+    // Static fallback, mirroring completion_time(): every phase once.
+    std::int64_t total = 0;
+    for (const std::int64_t t : comm_times) {
+      total += t;
+    }
+    for (const std::int64_t t : exec_times) {
+      total += t;
+    }
+    return total;
+  }
+  return walk(graph_.phase_expr(), comm_times, exec_times);
+}
+
+std::int64_t IncrementalCompletion::delta_move(int task, int to_proc) const {
+  OREGAMI_ASSERT(task >= 0 && task < graph_.num_tasks(),
+                 "task out of range");
+  OREGAMI_ASSERT(to_proc >= 0 && to_proc < topo_.num_procs(),
+                 "processor out of range");
+  const int from = proc_of_task_[static_cast<std::size_t>(task)];
+  if (from == to_proc) {
+    return 0;
+  }
+
+  probe_exec_times_ = exec_times_;
+  for (std::size_t k = 0; k < exec_.size(); ++k) {
+    const std::int64_t c =
+        cost_of(graph_.exec_phases()[k], task);
+    if (c == 0) {
+      continue;
+    }
+    const auto& state = exec_[k];
+    const std::int64_t from_load =
+        state.load[static_cast<std::size_t>(from)];
+    // What remains after `from` gives up c: if `from` was the unique
+    // max holder the runner-up takes over, otherwise the max stands.
+    const std::int64_t base =
+        (from_load == state.max && state.count_at_max == 1) ? state.second
+                                                            : state.max;
+    probe_exec_times_[k] =
+        std::max({base, from_load - c,
+                  state.load[static_cast<std::size_t>(to_proc)] + c});
+  }
+
+  probe_comm_times_ = comm_times_;
+  const auto& incident = incident_[static_cast<std::size_t>(task)];
+  for (std::size_t start = 0; start < incident.size();) {
+    const int k = incident[start].phase;
+    std::size_t stop = start;
+    while (stop < incident.size() && incident[stop].phase == k) {
+      ++stop;
+    }
+    const auto& state = comm_[static_cast<std::size_t>(k)];
+    const auto& phase = graph_.comm_phases()[static_cast<std::size_t>(k)];
+
+    touched_links_.clear();
+    hops_scratch_.assign(state.hops_hist.begin(), state.hops_hist.end());
+    // touched_links_ may hold duplicates when a link's delta crosses
+    // zero; harmless (reads and cleanup are idempotent).
+    auto touch = [&](int link, std::int64_t delta) {
+      auto& cell = link_delta_[static_cast<std::size_t>(link)];
+      if (cell == 0) {
+        touched_links_.push_back(link);
+      }
+      cell += delta;
+    };
+    for (std::size_t j = start; j < stop; ++j) {
+      const int i = incident[j].edge;
+      const auto& edge = phase.edges[static_cast<std::size_t>(i)];
+      const auto& old_route =
+          routing_[static_cast<std::size_t>(k)]
+              .route_of_edge[static_cast<std::size_t>(i)];
+      for (const int link : old_route.links) {
+        touch(link, -edge.volume);
+      }
+      --hops_scratch_[static_cast<std::size_t>(old_route.hops())];
+      const int src_task = edge.src;
+      const int dst_task = edge.dst;
+      const int src =
+          src_task == task
+              ? to_proc
+              : proc_of_task_[static_cast<std::size_t>(src_task)];
+      const int dst =
+          dst_task == task
+              ? to_proc
+              : proc_of_task_[static_cast<std::size_t>(dst_task)];
+      // Allocation-free replay of greedy_shortest_route: at each step
+      // the lowest-numbered neighbour one hop closer to dst (the same
+      // choice next_hop_choices' sort-then-front makes), with the link
+      // id read straight off the adjacency entry.
+      int new_hops = 0;
+      if (src != dst) {
+        const DistanceRow dist = topo_.distance_row(dst);
+        int current = src;
+        while (current != dst) {
+          const int here = dist[current];
+          int next = -1;
+          int next_link = -1;
+          for (const auto& a : topo_.graph().neighbors(current)) {
+            if (dist[a.neighbor] == here - 1 &&
+                (next == -1 || a.neighbor < next)) {
+              next = a.neighbor;
+              next_link = a.edge_id;
+            }
+          }
+          OREGAMI_ASSERT(next != -1, "destination must be reachable");
+          touch(next_link, edge.volume);
+          ++new_hops;
+          current = next;
+        }
+      }
+      if (static_cast<int>(hops_scratch_.size()) <= new_hops) {
+        hops_scratch_.resize(static_cast<std::size_t>(new_hops) + 1, 0);
+      }
+      ++hops_scratch_[static_cast<std::size_t>(new_hops)];
+    }
+
+    int new_max_hops = 0;
+    for (std::size_t h = hops_scratch_.size(); h-- > 0;) {
+      if (hops_scratch_[h] > 0) {
+        new_max_hops = static_cast<int>(h);
+        break;
+      }
+    }
+
+    // If some link currently at max_volume is untouched, the old max
+    // still stands as a floor and only touched links can exceed it.
+    // Otherwise (every max holder was touched) rescan the phase.
+    bool max_holder_touched = false;
+    for (const int link : touched_links_) {
+      if (state.volume[static_cast<std::size_t>(link)] ==
+          state.max_volume) {
+        max_holder_touched = true;
+        break;
+      }
+    }
+    std::int64_t new_max_volume = 0;
+    if (max_holder_touched) {
+      // The move disturbed (at least) one bottleneck link, so the old
+      // max no longer bounds the answer from below. Rescan: O(L), rare
+      // in practice (only when the moving task's routes crossed the
+      // bottleneck link).
+      for (std::size_t l = 0; l < state.volume.size(); ++l) {
+        new_max_volume =
+            std::max(new_max_volume, state.volume[l] + link_delta_[l]);
+      }
+    } else {
+      new_max_volume = state.max_volume;
+      for (const int link : touched_links_) {
+        new_max_volume = std::max(
+            new_max_volume, state.volume[static_cast<std::size_t>(link)] +
+                                link_delta_[static_cast<std::size_t>(link)]);
+      }
+    }
+
+    for (const int link : touched_links_) {
+      link_delta_[static_cast<std::size_t>(link)] = 0;
+    }
+
+    probe_comm_times_[static_cast<std::size_t>(k)] =
+        new_max_volume * model_.per_unit_cost +
+        static_cast<std::int64_t>(new_max_hops) * model_.hop_latency;
+    start = stop;
+  }
+
+  return combine(probe_comm_times_, probe_exec_times_) - completion_;
+}
+
+void IncrementalCompletion::place_task(
+    int task, int to_proc, const std::vector<Route>* forced_routes) {
+  const int from = proc_of_task_[static_cast<std::size_t>(task)];
+  for (std::size_t k = 0; k < exec_.size(); ++k) {
+    const std::int64_t c = cost_of(graph_.exec_phases()[k], task);
+    if (c == 0) {
+      continue;
+    }
+    auto& state = exec_[k];
+    state.load[static_cast<std::size_t>(from)] -= c;
+    state.load[static_cast<std::size_t>(to_proc)] += c;
+    rebuild_exec_tracker(state);
+    exec_times_[k] = state.max;
+  }
+
+  proc_of_task_[static_cast<std::size_t>(task)] = to_proc;
+
+  const auto& incident = incident_[static_cast<std::size_t>(task)];
+  for (std::size_t j = 0; j < incident.size(); ++j) {
+    const int k = incident[j].phase;
+    const int i = incident[j].edge;
+    auto& state = comm_[static_cast<std::size_t>(k)];
+    const auto& edge = graph_.comm_phases()[static_cast<std::size_t>(k)]
+                           .edges[static_cast<std::size_t>(i)];
+    Route& slot = routing_[static_cast<std::size_t>(k)]
+                      .route_of_edge[static_cast<std::size_t>(i)];
+    for (const int link : slot.links) {
+      state.volume[static_cast<std::size_t>(link)] -= edge.volume;
+    }
+    --state.hops_hist[static_cast<std::size_t>(slot.hops())];
+    slot = forced_routes != nullptr ? (*forced_routes)[j]
+                                    : route_for(k, i);
+    for (const int link : slot.links) {
+      state.volume[static_cast<std::size_t>(link)] += edge.volume;
+    }
+    if (static_cast<int>(state.hops_hist.size()) <= slot.hops()) {
+      state.hops_hist.resize(static_cast<std::size_t>(slot.hops()) + 1, 0);
+    }
+    ++state.hops_hist[static_cast<std::size_t>(slot.hops())];
+  }
+  // Refresh the maxima of each affected phase exactly once.
+  for (std::size_t j = 0; j < incident.size(); ++j) {
+    if (j > 0 && incident[j].phase == incident[j - 1].phase) {
+      continue;
+    }
+    auto& state = comm_[static_cast<std::size_t>(incident[j].phase)];
+    rebuild_comm_maxima(state);
+    comm_times_[static_cast<std::size_t>(incident[j].phase)] =
+        comm_time_of(state);
+  }
+
+  completion_ = combine(comm_times_, exec_times_);
+}
+
+std::int64_t IncrementalCompletion::apply_move(int task, int to_proc) {
+  OREGAMI_ASSERT(task >= 0 && task < graph_.num_tasks(),
+                 "task out of range");
+  OREGAMI_ASSERT(to_proc >= 0 && to_proc < topo_.num_procs(),
+                 "processor out of range");
+  const int from = proc_of_task_[static_cast<std::size_t>(task)];
+  if (from == to_proc) {
+    return 0;
+  }
+  UndoRecord rec;
+  rec.task = task;
+  rec.from_proc = from;
+  rec.old_completion = completion_;
+  const auto& incident = incident_[static_cast<std::size_t>(task)];
+  rec.old_routes.reserve(incident.size());
+  for (const auto& ref : incident) {
+    rec.old_routes.push_back(
+        routing_[static_cast<std::size_t>(ref.phase)]
+            .route_of_edge[static_cast<std::size_t>(ref.edge)]);
+  }
+  place_task(task, to_proc, nullptr);
+  history_.push_back(std::move(rec));
+  return completion_ - history_.back().old_completion;
+}
+
+bool IncrementalCompletion::undo() {
+  if (history_.empty()) {
+    return false;
+  }
+  UndoRecord rec = std::move(history_.back());
+  history_.pop_back();
+  place_task(rec.task, rec.from_proc, &rec.old_routes);
+  OREGAMI_ASSERT(completion_ == rec.old_completion,
+                 "undo must restore the exact completion time");
+  return true;
+}
+
+}  // namespace oregami

@@ -1,0 +1,133 @@
+// Incremental completion-model scoring (the mapper hot path).
+//
+// completion_time() walks every comm edge and every task on every
+// call; a refinement sweep that probes "what if task t moved to
+// processor q" thousands of times cannot afford that. This evaluator
+// caches, per phase, the per-processor execution loads and per-link
+// communication volumes (plus max trackers and a hop histogram), so a
+// single-task move is scored from the caches:
+//
+//   * delta_move(t, q)  -- O(1) per exec phase via (max, count, second)
+//     trackers, O(links + incident routes) per affected comm phase;
+//     no allocation in the steady state; pure probe, no state change;
+//   * apply_move(t, q)  -- commits the move, greedily re-routing the
+//     edges incident to t (same rule as MetricsSession::move_task) and
+//     refreshing the caches;
+//   * undo()            -- exact restoration of the previous placement,
+//     routes, caches, and completion time.
+//
+// Invariants (when caches must be rebuilt): the evaluator owns its
+// placement + routing copies, so they can only drift from the caches
+// through apply_move/undo, which maintain them. Mutating the TaskGraph,
+// Topology, or CostModel it references invalidates the evaluator;
+// construct a fresh one. An instance is not thread-safe (probes use
+// internal scratch); give each thread its own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oregami/metrics/completion_model.hpp"
+
+namespace oregami {
+
+class IncrementalCompletion {
+ public:
+  /// Takes ownership of a task-level placement and its routing (e.g.
+  /// Mapping::proc_of_task() + Mapping::routing). Requires every comm
+  /// volume and exec cost to be non-negative (the cost model's domain).
+  IncrementalCompletion(const TaskGraph& graph, const Topology& topo,
+                        std::vector<int> proc_of_task,
+                        std::vector<PhaseRouting> routing,
+                        CostModel model = {});
+
+  /// Convenience: start from a MAPPER-produced mapping.
+  IncrementalCompletion(const TaskGraph& graph, const Topology& topo,
+                        const Mapping& mapping, CostModel model = {});
+
+  [[nodiscard]] std::int64_t completion() const { return completion_; }
+  [[nodiscard]] const std::vector<int>& proc_of_task() const {
+    return proc_of_task_;
+  }
+  [[nodiscard]] const std::vector<PhaseRouting>& routing() const {
+    return routing_;
+  }
+
+  /// Completion-time change if `task` moved to `to_proc` (incident
+  /// edges re-routed greedily). Negative = improvement. Probe only.
+  [[nodiscard]] std::int64_t delta_move(int task, int to_proc) const;
+
+  /// Commits the move probed by delta_move; returns the realised delta
+  /// (always equal to the probe's answer). Moving a task to its own
+  /// processor is a no-op returning 0 (and records no history).
+  std::int64_t apply_move(int task, int to_proc);
+
+  /// Reverts the most recent apply_move; false when nothing to undo.
+  bool undo();
+
+  [[nodiscard]] std::size_t history_size() const {
+    return history_.size();
+  }
+
+ private:
+  struct ExecState {
+    std::vector<std::int64_t> load;  ///< per processor
+    std::int64_t max = 0;
+    int count_at_max = 0;
+    std::int64_t second = 0;  ///< largest load strictly below max
+  };
+  struct CommState {
+    std::vector<std::int64_t> volume;  ///< per link
+    std::vector<int> hops_hist;        ///< routes per hop count
+    std::int64_t max_volume = 0;
+    int max_hops = 0;
+  };
+  struct EdgeRef {
+    int phase = 0;
+    int edge = 0;
+  };
+  struct UndoRecord {
+    int task = 0;
+    int from_proc = 0;
+    std::vector<Route> old_routes;  ///< parallel to incident_[task]
+    std::int64_t old_completion = 0;
+  };
+
+  void rebuild_exec_tracker(ExecState& state) const;
+  void rebuild_comm_maxima(CommState& state) const;
+  [[nodiscard]] Route route_for(int phase, int edge) const;
+  [[nodiscard]] std::int64_t comm_time_of(const CommState& state) const;
+  [[nodiscard]] std::int64_t combine(
+      const std::vector<std::int64_t>& comm_times,
+      const std::vector<std::int64_t>& exec_times) const;
+  [[nodiscard]] std::int64_t walk(
+      const PhaseTree& node, const std::vector<std::int64_t>& comm_times,
+      const std::vector<std::int64_t>& exec_times) const;
+  void place_task(int task, int to_proc,
+                  const std::vector<Route>* forced_routes);
+
+  const TaskGraph& graph_;
+  const Topology& topo_;
+  CostModel model_;
+  std::vector<int> proc_of_task_;
+  std::vector<PhaseRouting> routing_;
+
+  std::vector<ExecState> exec_;
+  std::vector<CommState> comm_;
+  std::vector<std::int64_t> exec_times_;
+  std::vector<std::int64_t> comm_times_;
+  std::int64_t completion_ = 0;
+  /// Per task: its comm edges (grouped by ascending phase).
+  std::vector<std::vector<EdgeRef>> incident_;
+  std::vector<UndoRecord> history_;
+
+  // Probe scratch (mutable: delta_move is logically const). Reused
+  // across probes so the steady state allocates nothing.
+  mutable std::vector<std::int64_t> probe_comm_times_;
+  mutable std::vector<std::int64_t> probe_exec_times_;
+  mutable std::vector<std::int64_t> link_delta_;  ///< dense, zeroed after use
+  mutable std::vector<int> touched_links_;
+  mutable std::vector<int> hops_scratch_;
+};
+
+}  // namespace oregami

@@ -24,9 +24,12 @@ PhaseSimResult simulate_comm_phase(const TaskGraph& graph, int phase_index,
   // the simulation is deterministic.
   using Event = std::pair<std::int64_t, int>;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> ready;
-  std::vector<std::size_t> next_hop(phase.edges.size(), 0);
-  std::vector<std::int64_t> link_free(
-      static_cast<std::size_t>(topo.num_links()), 0);
+  // Per-thread scratch: phase sweeps call this in a loop and the
+  // per-call allocations showed up in the profile.
+  thread_local std::vector<std::size_t> next_hop;
+  thread_local std::vector<std::int64_t> link_free;
+  next_hop.assign(phase.edges.size(), 0);
+  link_free.assign(static_cast<std::size_t>(topo.num_links()), 0);
 
   for (int m = 0; m < static_cast<int>(phase.edges.size()); ++m) {
     if (routing.route_of_edge[static_cast<std::size_t>(m)].links.empty()) {

@@ -1,0 +1,183 @@
+// Exhaustive equivalence of the closed-form distance oracles against
+// BFS ground truth (a Custom topology built from the same link graph),
+// for every TopoFamily across a sweep of shapes reaching P >= 256 per
+// family, plus diameter() cross-checks and a concurrency test on the
+// unwarmed Custom lazy table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "oregami/arch/topology.hpp"
+#include "oregami/graph/shortest_paths.hpp"
+
+namespace oregami {
+namespace {
+
+/// Checks every pair (u, v) of `topo` against BFS on its own link
+/// graph, plus diameter() and DistanceRow consistency.
+void expect_oracle_matches_bfs(const Topology& topo) {
+  SCOPED_TRACE(topo.name());
+  const int p = topo.num_procs();
+  int true_diameter = 0;
+  for (int u = 0; u < p; ++u) {
+    const std::vector<int> truth = bfs_distances(topo.graph(), u);
+    const DistanceRow row = topo.distance_row(u);
+    EXPECT_EQ(row.source(), u);
+    for (int v = 0; v < p; ++v) {
+      ASSERT_EQ(topo.distance(u, v), truth[static_cast<std::size_t>(v)])
+          << "u=" << u << " v=" << v;
+      ASSERT_EQ(row[v], truth[static_cast<std::size_t>(v)])
+          << "u=" << u << " v=" << v;
+      true_diameter =
+          std::max(true_diameter, truth[static_cast<std::size_t>(v)]);
+    }
+    ASSERT_EQ(topo.distance(u, u), 0);
+  }
+  EXPECT_EQ(topo.diameter(), true_diameter);
+}
+
+TEST(DistanceOracle, Ring) {
+  for (const int p : {3, 4, 5, 6, 7, 8, 13, 32, 256, 257}) {
+    expect_oracle_matches_bfs(Topology::ring(p));
+  }
+}
+
+TEST(DistanceOracle, Chain) {
+  for (const int p : {1, 2, 3, 4, 7, 8, 19, 64, 256}) {
+    expect_oracle_matches_bfs(Topology::chain(p));
+  }
+}
+
+TEST(DistanceOracle, Mesh) {
+  for (const auto [r, c] : std::vector<std::pair<int, int>>{
+           {1, 1}, {1, 7}, {2, 2}, {3, 5}, {4, 4}, {5, 3}, {8, 8},
+           {16, 16}, {2, 128}}) {
+    expect_oracle_matches_bfs(Topology::mesh(r, c));
+  }
+}
+
+TEST(DistanceOracle, Torus) {
+  for (const auto [r, c] : std::vector<std::pair<int, int>>{
+           {3, 3}, {3, 4}, {4, 4}, {3, 7}, {5, 5}, {4, 6}, {8, 8},
+           {16, 16}, {3, 86}}) {
+    expect_oracle_matches_bfs(Topology::torus(r, c));
+  }
+}
+
+TEST(DistanceOracle, Hypercube) {
+  for (int dim = 0; dim <= 8; ++dim) {
+    expect_oracle_matches_bfs(Topology::hypercube(dim));
+  }
+}
+
+TEST(DistanceOracle, CompleteBinaryTree) {
+  for (int levels = 1; levels <= 8; ++levels) {  // levels 8 -> 255 nodes
+    expect_oracle_matches_bfs(Topology::complete_binary_tree(levels));
+  }
+}
+
+TEST(DistanceOracle, Star) {
+  for (const int p : {2, 3, 4, 5, 17, 64, 256}) {
+    expect_oracle_matches_bfs(Topology::star(p));
+  }
+}
+
+TEST(DistanceOracle, Complete) {
+  for (const int p : {2, 3, 4, 9, 33, 256}) {
+    expect_oracle_matches_bfs(Topology::complete(p));
+  }
+}
+
+TEST(DistanceOracle, Butterfly) {
+  for (int k = 1; k <= 6; ++k) {  // k = 6 -> 448 switches
+    expect_oracle_matches_bfs(Topology::butterfly(k));
+  }
+}
+
+TEST(DistanceOracle, Mesh3D) {
+  for (const auto [x, y, z] : std::vector<std::array<int, 3>>{
+           {1, 1, 1}, {2, 2, 2}, {1, 4, 2}, {3, 3, 3}, {4, 4, 4},
+           {5, 2, 7}, {8, 8, 4}}) {
+    expect_oracle_matches_bfs(Topology::mesh3d(x, y, z));
+  }
+}
+
+TEST(DistanceOracle, CustomMatchesItsOwnBfs) {
+  // A Custom topology is the ground truth path -- still verify the flat
+  // table agrees with per-row BFS and diameter.
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(2, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  expect_oracle_matches_bfs(Topology::custom("bowtie", std::move(g)));
+}
+
+TEST(DistanceOracle, CustomDisconnectedReportsMinusOne) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const Topology topo = Topology::custom("split", std::move(g));
+  EXPECT_EQ(topo.distance(0, 1), 1);
+  EXPECT_EQ(topo.distance(0, 2), -1);
+  EXPECT_EQ(topo.distance(3, 1), -1);
+}
+
+TEST(DistanceOracle, CopiesShareTheCustomTable) {
+  Graph g(5);
+  for (int i = 0; i + 1 < 5; ++i) {
+    g.add_edge(i, i + 1);
+  }
+  const Topology original = Topology::custom("path5", std::move(g));
+  const Topology copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(original.distance(0, 4), 4);
+  EXPECT_EQ(copy.distance(0, 4), 4);
+  EXPECT_EQ(copy.diameter(), 4);
+}
+
+// Regular families must answer distance queries without ever touching
+// lazy state; Custom publishes its table under std::call_once. Hammer
+// an unwarmed topology from many threads (run under TSan in CI).
+TEST(DistanceOracleThreads, UnwarmedConcurrentQueries) {
+  Graph g(64);
+  for (int i = 0; i < 64; ++i) {
+    g.add_edge(i, (i + 1) % 64);
+    g.add_edge(i, (i + 7) % 64);
+  }
+  const Topology custom = Topology::custom("chordal64", std::move(g));
+  const Topology mesh = Topology::mesh(8, 8);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::vector<int> checksums(kThreads, 0);
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      int sum = 0;
+      for (int u = 0; u < 64; ++u) {
+        const DistanceRow row = custom.distance_row(u);
+        for (int v = 0; v < 64; ++v) {
+          sum += row[v] + mesh.distance(u, v);
+        }
+      }
+      sum += custom.diameter() + mesh.diameter();
+      checksums[static_cast<std::size_t>(w)] = sum;
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  for (int w = 1; w < kThreads; ++w) {
+    EXPECT_EQ(checksums[static_cast<std::size_t>(w)], checksums[0]);
+  }
+}
+
+}  // namespace
+}  // namespace oregami

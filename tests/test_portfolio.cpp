@@ -245,5 +245,63 @@ TEST(PortfolioDeterminism, IdenticalAcrossWorkerCounts) {
   EXPECT_EQ(tested, 5) << "catalog no longer contains the 5 pinned programs";
 }
 
+// Golden regression: the winning candidate for the paper programs on a
+// 4x4 mesh, captured before the closed-form distance oracles and the
+// incremental evaluator landed. The perf work must not change a single
+// output bit, so the expected values are pinned literally.
+struct GoldenPortfolio {
+  const char* program;
+  int best_id;
+  std::int64_t completion;
+  std::int64_t external_ipc;
+  std::vector<int> proc_of_task;
+};
+
+TEST(PortfolioDeterminism, GoldenOutputsUnchangedByPerfWork) {
+  const std::vector<GoldenPortfolio> golden = {
+      {"nbody", 14, 1188, 4320,
+       {11, 10, 13, 8, 4, 1, 2, 7, 15, 14, 12, 9, 5, 6, 3}},
+      {"jacobi", 0, 250, 960,
+       {0,  0,  1,  1,  2,  2,  3,  3,  0,  0,  1,  1,  2,  2,  3,  3,
+        4,  4,  5,  5,  6,  6,  7,  7,  4,  4,  5,  5,  6,  6,  7,  7,
+        8,  8,  9,  9,  10, 10, 11, 11, 8,  8,  9,  9,  10, 10, 11, 11,
+        12, 12, 13, 13, 14, 14, 15, 15, 12, 12, 13, 13, 14, 14, 15, 15}},
+      {"sor", 0, 300, 960,
+       {0,  0,  1,  1,  2,  2,  3,  3,  0,  0,  1,  1,  2,  2,  3,  3,
+        4,  4,  5,  5,  6,  6,  7,  7,  4,  4,  5,  5,  6,  6,  7,  7,
+        8,  8,  9,  9,  10, 10, 11, 11, 8,  8,  9,  9,  10, 10, 11, 11,
+        12, 12, 13, 13, 14, 14, 15, 15, 12, 12, 13, 13, 14, 14, 15, 15}},
+      {"binomial_dnc", 0, 12, 30,
+       {5, 1, 4, 0, 6, 2, 7, 3, 9, 13, 8, 12, 10, 14, 11, 15}},
+      {"cbt_reduce", 0, 24, 36,
+       {5, 5, 6, 1, 4, 6, 2, 1, 0, 4, 8, 7, 10, 2, 3}},
+  };
+  const auto catalog = larcs::programs::catalog();
+  int tested = 0;
+  for (const auto& expected : golden) {
+    for (const auto& entry : catalog) {
+      if (entry.name != expected.program) {
+        continue;
+      }
+      SCOPED_TRACE(entry.name);
+      const auto c = compile_catalog(entry);
+      const Topology topo = Topology::mesh(4, 4);
+      PortfolioOptions popts;
+      popts.num_seeded = 12;
+      popts.jobs = 1;
+      const auto result =
+          portfolio_map_program(c.ast, c.cp, topo, {}, popts);
+      EXPECT_EQ(result.best_id, expected.best_id);
+      const auto& best =
+          result.candidates[static_cast<std::size_t>(result.best_id)];
+      EXPECT_EQ(best.completion, expected.completion);
+      EXPECT_EQ(best.external_ipc, expected.external_ipc);
+      EXPECT_EQ(result.best.mapping.proc_of_task(), expected.proc_of_task);
+      ++tested;
+    }
+  }
+  EXPECT_EQ(tested, 5) << "catalog no longer contains the golden programs";
+}
+
 }  // namespace
 }  // namespace oregami

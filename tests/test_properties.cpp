@@ -19,6 +19,8 @@
 #include "oregami/arch/topology_spec.hpp"
 #include "oregami/mapper/driver.hpp"
 #include "oregami/mapper/mwm_contract.hpp"
+#include "oregami/mapper/refine.hpp"
+#include "oregami/metrics/incremental.hpp"
 #include "oregami/metrics/metrics.hpp"
 #include "oregami/metrics/session.hpp"
 #include "oregami/support/rng.hpp"
@@ -226,6 +228,114 @@ TEST(Properties, GeneratedPipelineInvariants) {
   SplitMix64 seeder(kBaseSeed);
   for (int i = 0; i < kCases; ++i) {
     check_case(seeder.next_u64());
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+/// IncrementalCompletion invariants on a generated case: the cached
+/// completion matches completion_time(), every delta_move probe equals
+/// the realised apply_move delta (which in turn matches a from-scratch
+/// recompute), and unwinding the whole move history restores the
+/// placement, the routing, and the completion exactly.
+void check_incremental_case(std::uint64_t case_seed) {
+  SCOPED_TRACE("case seed " + std::to_string(case_seed));
+  SplitMix64 rng(case_seed);
+  const Topology topo = random_topology(rng);
+  const TaskGraph graph = random_task_graph(rng);
+  const MapperReport report = map_computation(graph, topo, {});
+
+  IncrementalCompletion inc(graph, topo, report.mapping);
+  const auto procs_before = inc.proc_of_task();
+  const auto routing_before = inc.routing();
+  const std::int64_t completion_before = inc.completion();
+  ASSERT_EQ(completion_before,
+            completion_time(graph, procs_before, routing_before, topo));
+
+  const int kMoves = 6;
+  for (int m = 0; m < kMoves; ++m) {
+    const int task = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(graph.num_tasks())));
+    const int target = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(topo.num_procs())));
+    const std::int64_t probed = inc.delta_move(task, target);
+    const std::int64_t before = inc.completion();
+    const std::int64_t realised = inc.apply_move(task, target);
+    ASSERT_EQ(realised, probed) << "task " << task << " -> " << target;
+    ASSERT_EQ(inc.completion(), before + realised);
+    // Ground truth: full recompute over the evaluator's own state.
+    ASSERT_EQ(inc.completion(),
+              completion_time(graph, inc.proc_of_task(), inc.routing(),
+                              topo))
+        << "task " << task << " -> " << target;
+  }
+  while (inc.undo()) {
+  }
+  EXPECT_EQ(inc.completion(), completion_before);
+  EXPECT_EQ(inc.proc_of_task(), procs_before);
+  ASSERT_EQ(inc.routing().size(), routing_before.size());
+  for (std::size_t k = 0; k < routing_before.size(); ++k) {
+    const auto& a = inc.routing()[k].route_of_edge;
+    const auto& b = routing_before[k].route_of_edge;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].nodes, b[i].nodes);
+      EXPECT_EQ(a[i].links, b[i].links);
+    }
+  }
+}
+
+TEST(Properties, IncrementalCompletionMatchesFullRecompute) {
+  SplitMix64 seeder(kBaseSeed ^ 0xD15C0ULL);
+  for (int i = 0; i < kCases; ++i) {
+    check_incremental_case(seeder.next_u64());
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+/// refine_placement never worsens the completion model, keeps every
+/// route valid, and is deterministic.
+void check_refine_placement_case(std::uint64_t case_seed) {
+  SCOPED_TRACE("case seed " + std::to_string(case_seed));
+  SplitMix64 rng(case_seed);
+  const Topology topo = random_topology(rng);
+  const TaskGraph graph = random_task_graph(rng);
+  const MapperReport report = map_computation(graph, topo, {});
+  const auto procs = report.mapping.proc_of_task();
+
+  const PlacementRefineResult refined = refine_placement(
+      graph, topo, procs, report.mapping.routing);
+  EXPECT_LE(refined.completion_after, refined.completion_before);
+  EXPECT_EQ(refined.completion_before,
+            completion_time(graph, procs, report.mapping.routing, topo));
+  EXPECT_EQ(refined.completion_after,
+            completion_time(graph, refined.proc_of_task, refined.routing,
+                            topo));
+  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+    const auto& phase = graph.comm_phases()[k];
+    for (std::size_t i = 0; i < phase.edges.size(); ++i) {
+      const auto& e = phase.edges[i];
+      EXPECT_TRUE(is_valid_route(
+          topo, refined.routing[k].route_of_edge[i],
+          refined.proc_of_task[static_cast<std::size_t>(e.src)],
+          refined.proc_of_task[static_cast<std::size_t>(e.dst)]));
+    }
+  }
+
+  const PlacementRefineResult again = refine_placement(
+      graph, topo, procs, report.mapping.routing);
+  EXPECT_EQ(again.proc_of_task, refined.proc_of_task);
+  EXPECT_EQ(again.completion_after, refined.completion_after);
+  EXPECT_EQ(again.moves, refined.moves);
+}
+
+TEST(Properties, RefinePlacementNeverWorsensAndIsDeterministic) {
+  SplitMix64 seeder(kBaseSeed ^ 0xEF12EULL);
+  for (int i = 0; i < 80; ++i) {
+    check_refine_placement_case(seeder.next_u64());
     if (HasFatalFailure()) {
       return;
     }

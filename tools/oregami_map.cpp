@@ -62,6 +62,8 @@ int usage(const char* argv0) {
       << "  --directives           print per-processor schedules\n"
       << "  --no-canned | --no-group | --no-systolic\n"
       << "                         disable a MAPPER strategy\n"
+      << "  --refine-placement     hill-climb the final placement on the\n"
+      << "                         completion model (incremental scoring)\n"
       << "  --portfolio N          portfolio mode: run every admissible\n"
       << "                         strategy plus N seeded general variants\n"
       << "                         and keep the best (prints the table)\n"
@@ -135,6 +137,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.mapper.allow_group = false;
     } else if (arg == "--no-systolic") {
       options.mapper.allow_systolic = false;
+    } else if (arg == "--refine-placement") {
+      options.mapper.refine_placement = true;
     } else if (arg == "--portfolio" || arg == "--jobs" || arg == "--seed") {
       const auto v = next();
       if (!v) {
