@@ -1,8 +1,12 @@
 #include "oregami/core/mapping_io.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "oregami/support/error.hpp"
 
@@ -47,85 +51,154 @@ std::string mapping_to_string(const Mapping& mapping, int num_procs) {
 
 namespace {
 
-void expect_token(std::istream& in, const std::string& expected) {
-  std::string token;
-  if (!(in >> token) || token != expected) {
-    throw MappingError("mapping file: expected '" + expected + "'" +
-                       (token.empty() ? "" : ", found '" + token + "'"));
-  }
-}
+/// Whitespace tokenizer that remembers the line each token started on,
+/// so every parse error can say exactly where the file went wrong.
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::istream& in) : in_(in) {}
 
-long read_count(std::istream& in, const char* what, long max_value) {
-  long value = 0;
-  if (!(in >> value) || value < 0 || value > max_value) {
-    throw MappingError(std::string("mapping file: bad ") + what);
+  /// Line of the most recently returned token (1-based); for errors
+  /// raised before any token is read (empty file) this is line 1.
+  [[nodiscard]] int line() const { return token_line_; }
+
+  /// Next whitespace-separated token, or nullopt at end of input.
+  std::optional<std::string> next() {
+    int ch = in_.get();
+    while (ch != std::istream::traits_type::eof() &&
+           std::isspace(static_cast<unsigned char>(ch)) != 0) {
+      if (ch == '\n') {
+        ++line_;
+      }
+      ch = in_.get();
+    }
+    if (ch == std::istream::traits_type::eof()) {
+      token_line_ = line_;
+      return std::nullopt;
+    }
+    token_line_ = line_;
+    std::string token;
+    while (ch != std::istream::traits_type::eof() &&
+           std::isspace(static_cast<unsigned char>(ch)) == 0) {
+      token.push_back(static_cast<char>(ch));
+      ch = in_.get();
+    }
+    if (ch == '\n') {
+      ++line_;
+    }
+    return token;
   }
-  return value;
-}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw MappingError("mapping file line " + std::to_string(token_line_) +
+                       ": " + message);
+  }
+
+  void expect(const std::string& expected) {
+    const auto token = next();
+    if (!token) {
+      fail("expected '" + expected + "', found end of file");
+    }
+    if (*token != expected) {
+      fail("expected '" + expected + "', found '" + *token + "'");
+    }
+  }
+
+  /// Reads one integer in [min_value, max_value]; rejects trailing
+  /// garbage ("12x"), missing tokens, and out-of-range values with a
+  /// located message naming `what`.
+  long read_int(const char* what, long min_value, long max_value) {
+    const auto token = next();
+    if (!token) {
+      fail(std::string("expected ") + what + ", found end of file");
+    }
+    long value = 0;
+    std::size_t used = 0;
+    try {
+      value = std::stol(*token, &used);
+    } catch (const std::exception&) {
+      fail(std::string("bad ") + what + " '" + *token + "'");
+    }
+    if (used != token->size()) {
+      fail(std::string("bad ") + what + " '" + *token + "'");
+    }
+    if (value < min_value || value > max_value) {
+      fail(std::string(what) + " " + *token + " out of range [" +
+           std::to_string(min_value) + ", " + std::to_string(max_value) +
+           "]");
+    }
+    return value;
+  }
+
+ private:
+  std::istream& in_;
+  int line_ = 1;        ///< line the read cursor is on
+  int token_line_ = 1;  ///< line the last token started on
+};
 
 }  // namespace
 
 Mapping read_mapping(std::istream& in, int* num_procs_out) {
-  expect_token(in, "oregami-mapping");
-  expect_token(in, "v1");
-  expect_token(in, "tasks");
-  const long tasks = read_count(in, "task count", 100'000'000);
-  expect_token(in, "clusters");
-  const long clusters = read_count(in, "cluster count", tasks);
-  expect_token(in, "procs");
-  const long procs = read_count(in, "processor count", 100'000'000);
-  expect_token(in, "phases");
-  const long phases = read_count(in, "phase count", 1'000'000);
+  Tokenizer tok(in);
+  tok.expect("oregami-mapping");
+  tok.expect("v1");
+  tok.expect("tasks");
+  const long tasks = tok.read_int("task count", 0, 100'000'000);
+  tok.expect("clusters");
+  const long clusters = tok.read_int("cluster count", 0, tasks);
+  tok.expect("procs");
+  const long procs = tok.read_int("processor count", 0, 100'000'000);
+  tok.expect("phases");
+  const long phases = tok.read_int("phase count", 0, 1'000'000);
   if (num_procs_out != nullptr) {
     *num_procs_out = static_cast<int>(procs);
   }
 
+  // Grow every container entry by entry rather than trusting the
+  // declared counts with an up-front resize: a corrupted header must
+  // fail on its first missing entry, not allocate gigabytes first.
   Mapping mapping;
   mapping.contraction.num_clusters = static_cast<int>(clusters);
-  mapping.contraction.cluster_of_task.resize(
-      static_cast<std::size_t>(tasks));
-  expect_token(in, "contraction");
-  for (auto& c : mapping.contraction.cluster_of_task) {
-    if (!(in >> c) || c < 0 || c >= clusters) {
-      throw MappingError("mapping file: bad contraction entry");
-    }
+  tok.expect("contraction");
+  mapping.contraction.cluster_of_task.reserve(
+      static_cast<std::size_t>(std::min(tasks, 4096L)));
+  for (long i = 0; i < tasks; ++i) {
+    mapping.contraction.cluster_of_task.push_back(
+        static_cast<int>(tok.read_int("contraction entry", 0, clusters - 1)));
   }
-  expect_token(in, "embedding");
-  mapping.embedding.proc_of_cluster.resize(
-      static_cast<std::size_t>(clusters));
-  for (auto& p : mapping.embedding.proc_of_cluster) {
-    if (!(in >> p) || p < 0 || p >= procs) {
-      throw MappingError("mapping file: bad embedding entry");
-    }
+  tok.expect("embedding");
+  mapping.embedding.proc_of_cluster.reserve(
+      static_cast<std::size_t>(std::min(clusters, 4096L)));
+  for (long i = 0; i < clusters; ++i) {
+    mapping.embedding.proc_of_cluster.push_back(
+        static_cast<int>(tok.read_int("embedding entry", 0, procs - 1)));
   }
   for (long k = 0; k < phases; ++k) {
-    expect_token(in, "phase");
-    const long edges = read_count(in, "edge count", 100'000'000);
+    tok.expect("phase");
+    const long edges = tok.read_int("edge count", 0, 100'000'000);
     PhaseRouting routing;
-    routing.route_of_edge.resize(static_cast<std::size_t>(edges));
-    for (auto& route : routing.route_of_edge) {
-      expect_token(in, "route");
-      const long nodes = read_count(in, "route node count", 1'000'000);
-      if (nodes == 0) {
-        throw MappingError("mapping file: a route needs >= 1 node");
+    routing.route_of_edge.reserve(
+        static_cast<std::size_t>(std::min(edges, 4096L)));
+    for (long i = 0; i < edges; ++i) {
+      Route route;
+      tok.expect("route");
+      const long nodes = tok.read_int("route node count", 1, 1'000'000);
+      route.nodes.reserve(static_cast<std::size_t>(std::min(nodes, 4096L)));
+      for (long j = 0; j < nodes; ++j) {
+        route.nodes.push_back(
+            static_cast<int>(tok.read_int("route node", 0, procs - 1)));
       }
-      route.nodes.resize(static_cast<std::size_t>(nodes));
-      for (auto& node : route.nodes) {
-        if (!(in >> node) || node < 0 || node >= procs) {
-          throw MappingError("mapping file: bad route node");
-        }
-      }
-      const long links = read_count(in, "route link count", 1'000'000);
+      const long links = tok.read_int("route link count", 0, 1'000'000);
       if (links != nodes - 1) {
-        throw MappingError(
-            "mapping file: link count must be node count - 1");
+        tok.fail("route link count must be node count - 1 (" +
+                 std::to_string(nodes) + " nodes, " +
+                 std::to_string(links) + " links)");
       }
-      route.links.resize(static_cast<std::size_t>(links));
-      for (auto& link : route.links) {
-        if (!(in >> link) || link < 0) {
-          throw MappingError("mapping file: bad route link");
-        }
+      route.links.reserve(static_cast<std::size_t>(std::min(links, 4096L)));
+      for (long j = 0; j < links; ++j) {
+        route.links.push_back(
+            static_cast<int>(tok.read_int("route link", 0, 100'000'000)));
       }
+      routing.route_of_edge.push_back(std::move(route));
     }
     mapping.routing.push_back(std::move(routing));
   }

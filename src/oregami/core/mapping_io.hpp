@@ -28,7 +28,9 @@ void write_mapping(std::ostream& out, const Mapping& mapping,
                                             int num_procs);
 
 /// Reads a mapping; throws MappingError on malformed input or
-/// structural inconsistencies (counts, ranges, route shapes). The
+/// structural inconsistencies (counts, ranges, route shapes). Every
+/// parse error is located: the message starts with "mapping file line
+/// N: ..." where N is the 1-based line of the offending token. The
 /// caller should still run validate_mapping() against the task graph
 /// and topology it intends to use.
 [[nodiscard]] Mapping read_mapping(std::istream& in, int* num_procs_out = nullptr);

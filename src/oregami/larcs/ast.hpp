@@ -117,6 +117,10 @@ struct PhaseExprNode {
 
 struct Program {
   std::string name;
+  /// Location of the `algorithm` header keyword; the anchor for
+  /// program-level diagnostics that have no finer position (missing
+  /// bindings, "declares no nodetype", ...).
+  SourceLoc loc;
   std::vector<std::string> params;
   std::vector<std::string> imports;
   std::vector<std::pair<std::string, ExprPtr>> consts;

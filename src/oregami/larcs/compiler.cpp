@@ -90,7 +90,8 @@ CompiledProgram compile(const Program& program,
     const auto it = bindings.find(name);
     if (it == bindings.end()) {
       throw LarcsError("missing binding for algorithm parameter '" + name +
-                       "'");
+                           "'",
+                       program.loc);
     }
     env.bind(name, it->second);
   }
@@ -98,14 +99,16 @@ CompiledProgram compile(const Program& program,
     const auto it = bindings.find(name);
     if (it == bindings.end()) {
       throw LarcsError("missing binding for imported variable '" + name +
-                       "'");
+                           "'",
+                       program.loc);
     }
     env.bind(name, it->second);
   }
   for (const auto& [key, value] : bindings) {
     if (!env.has(key)) {
       throw LarcsError("binding '" + key +
-                       "' matches no parameter or import");
+                           "' matches no parameter or import",
+                       program.loc);
     }
     (void)value;
   }
@@ -138,7 +141,7 @@ CompiledProgram compile(const Program& program,
     }
     total_tasks += layout.count;
     if (total_tasks > options.max_tasks) {
-      throw LarcsError("program exceeds the task limit");
+      throw LarcsError("program exceeds the task limit", nt.loc);
     }
     for_each_tuple(layout.lo, layout.hi, [&](const std::vector<long>& t) {
       out.graph.add_task(tuple_name(nt.name, t), t);

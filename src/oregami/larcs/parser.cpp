@@ -151,6 +151,7 @@ class Parser {
 
   Program parse() {
     Program program;
+    program.loc = current().loc;
     expect(TokenKind::KwAlgorithm);
     program.name = expect(TokenKind::Identifier).text;
     expect(TokenKind::LParen);
@@ -534,12 +535,15 @@ class Parser {
     std::set<std::string> names(program.params.begin(),
                                 program.params.end());
     if (names.size() != program.params.size()) {
-      throw LarcsError("duplicate algorithm parameter");
+      throw LarcsError("duplicate algorithm parameter", program.loc);
     }
-    auto declare = [&names](const std::string& name, const char* what) {
+    auto declare = [&names, &program](const std::string& name,
+                                      const char* what,
+                                      SourceLoc loc = {}) {
       if (!names.insert(name).second) {
         throw LarcsError(std::string("duplicate declaration of '") + name +
-                         "' (" + what + ")");
+                             "' (" + what + ")",
+                         loc.line > 0 ? loc : program.loc);
       }
     };
     for (const auto& imp : program.imports) {
@@ -550,7 +554,7 @@ class Parser {
       declare(name, "const");
     }
     for (const auto& nt : program.nodetypes) {
-      declare(nt.name, "nodetype");
+      declare(nt.name, "nodetype", nt.loc);
       std::set<std::string> binders;
       for (const auto& dim : nt.dims) {
         if (!binders.insert(dim.binder).second) {
@@ -562,7 +566,7 @@ class Parser {
     }
     std::set<std::string> phase_names;
     for (const auto& cp : program.comm_phases) {
-      declare(cp.name, "comphase");
+      declare(cp.name, "comphase", cp.loc);
       phase_names.insert(cp.name);
       for (const auto& rule : cp.rules) {
         const auto* src = program.find_nodetype(rule.src_type);
@@ -599,14 +603,14 @@ class Parser {
       }
     }
     for (const auto& ep : program.exec_phases) {
-      declare(ep.name, "exphase");
+      declare(ep.name, "exphase", ep.loc);
       phase_names.insert(ep.name);
     }
     if (program.phase_expr) {
       check_phase_refs(*program.phase_expr, phase_names);
     }
     if (program.nodetypes.empty()) {
-      throw LarcsError("program declares no nodetype");
+      throw LarcsError("program declares no nodetype", program.loc);
     }
   }
 

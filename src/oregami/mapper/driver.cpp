@@ -272,10 +272,51 @@ MapperReport map_general_seeded(const TaskGraph& graph, const Topology& topo,
   return do_general(graph, topo, options, nn_seed);
 }
 
+namespace {
+
+/// Degraded-mode redirect: runs the requested pipeline on the compacted
+/// healthy sub-topology and translates back to base ids. `options` is
+/// taken by value so the recursion sees faults == nullptr.
+MapperReport map_degraded(const TaskGraph& graph,
+                          const FaultedTopology& faults,
+                          const Topology& topo, MapperOptions options,
+                          const larcs::Program* program,
+                          const larcs::CompiledProgram* compiled) {
+  if (faults.base().num_procs() != topo.num_procs()) {
+    throw MappingError(
+        "MapperOptions::faults is for a different topology (" +
+        faults.base().name() + " vs " + topo.name() + ")");
+  }
+  if (faults.healthy_procs().empty()) {
+    throw MappingError(
+        "cannot map onto the faulted topology: no healthy processors "
+        "remain (spec: " + faults.spec().to_string() + ")");
+  }
+  const FaultedTopology::HealthySub sub = faults.healthy_subtopology();
+  options.faults = nullptr;
+  MapperReport report =
+      program != nullptr
+          ? map_program(*program, *compiled, sub.topo, options)
+          : map_computation(graph, sub.topo, options);
+  report.mapping = map_to_base(sub, std::move(report.mapping));
+  report.details = "degraded machine (" + faults.spec().to_string() +
+                   "; " + std::to_string(sub.topo.num_procs()) + "/" +
+                   std::to_string(faults.base().num_procs()) +
+                   " processors healthy); " + report.details;
+  validate_mapping(report.mapping, graph, faults.base());
+  return report;
+}
+
+}  // namespace
+
 MapperReport map_computation(const TaskGraph& graph, const Topology& topo,
                              const MapperOptions& options) {
   if (graph.num_tasks() == 0) {
     throw MappingError("cannot map an empty task graph");
+  }
+  if (options.faults != nullptr && !options.faults->spec().empty()) {
+    return map_degraded(graph, *options.faults, topo, options, nullptr,
+                        nullptr);
   }
   if (options.portfolio > 0) {
     return portfolio_map_computation(graph, topo, options,
@@ -304,6 +345,10 @@ MapperReport map_program(const larcs::Program& program,
   const TaskGraph& graph = compiled.graph;
   if (graph.num_tasks() == 0) {
     throw MappingError("cannot map an empty task graph");
+  }
+  if (options.faults != nullptr && !options.faults->spec().empty()) {
+    return map_degraded(graph, *options.faults, topo, options, &program,
+                        &compiled);
   }
   if (options.portfolio > 0) {
     return portfolio_map_program(program, compiled, topo, options,

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "oregami/arch/fault_model.hpp"
 #include "oregami/arch/topology.hpp"
 #include "oregami/core/mapping.hpp"
 #include "oregami/core/task_graph.hpp"
@@ -56,6 +57,13 @@ struct MapperOptions {
   int portfolio = 0;
   int jobs = 1;  ///< portfolio workers; 0 = hardware_concurrency
   std::uint64_t portfolio_seed = 0x09E6A311u;  ///< candidate RNG base seed
+  /// Degraded-mode mapping (not owned; must outlive the call). When set
+  /// with a non-empty FaultSpec, map_computation/map_program run the
+  /// whole pipeline on the compacted healthy sub-topology and translate
+  /// the result back to base processor/link ids, so the returned
+  /// mapping avoids every dead processor and link. nullptr (or an empty
+  /// spec) leaves the pipeline byte-identical to the healthy path.
+  const FaultedTopology* faults = nullptr;
 };
 
 struct MapperReport {

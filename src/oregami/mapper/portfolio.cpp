@@ -1,5 +1,6 @@
 #include "oregami/mapper/portfolio.hpp"
 
+#include <chrono>
 #include <functional>
 #include <future>
 #include <tuple>
@@ -99,14 +100,35 @@ PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
   // Custom family's lazy BFS table is published under std::call_once,
   // so no pre-warm is needed before fanning out.
   ThreadPool pool(options.jobs);
+  // Deadline support: non-positive budgets never consult the clock
+  // (0 = none, < 0 = already expired), keeping those modes
+  // bit-deterministic. Candidate 0 is exempt so a result always exists.
+  const std::int64_t budget = options.time_budget_ms;
+  const auto deadline_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(budget > 0 ? budget : 0);
+  const auto deadline_passed = [budget, deadline_at] {
+    if (budget == 0) {
+      return false;
+    }
+    if (budget < 0) {
+      return true;
+    }
+    return std::chrono::steady_clock::now() >= deadline_at;
+  };
   std::vector<std::future<PortfolioCandidate>> futures;
   futures.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     futures.push_back(pool.submit(
-        [spec = std::move(specs[i]), id = static_cast<int>(i)] {
+        [spec = std::move(specs[i]), id = static_cast<int>(i),
+         deadline_passed] {
           PortfolioCandidate candidate;
           candidate.id = id;
           candidate.label = spec.label;
+          if (id != 0 && deadline_passed()) {
+            candidate.note = "skipped (deadline)";
+            return candidate;
+          }
           try {
             if (auto report = spec.run()) {
               candidate.ok = true;

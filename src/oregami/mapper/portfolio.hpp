@@ -43,6 +43,16 @@ struct PortfolioOptions {
   std::uint64_t seed = 0x09E6A311u;
   /// Cost model used to score candidates.
   CostModel model;
+  /// Wall-clock deadline for the search, in milliseconds. 0 = no
+  /// deadline. Candidate 0 (the exact single-shot pipeline) ALWAYS
+  /// runs, so the search still returns a mapping; every other
+  /// candidate checks the deadline when its task starts and is skipped
+  /// (reported as "skipped (deadline)") once it has passed. A deadline
+  /// only ever shrinks the completed set -- the winner among completed
+  /// candidates is still the deterministic (completion, external IPC,
+  /// id) minimum. Negative = already expired, so exactly candidate 0
+  /// runs (deterministic; used by the deadline tests).
+  std::int64_t time_budget_ms = 0;
 };
 
 /// Builds PortfolioOptions from the portfolio fields of MapperOptions

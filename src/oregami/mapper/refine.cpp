@@ -139,10 +139,12 @@ PlacementRefineResult refine_placement(const TaskGraph& graph,
                                        std::vector<int> proc_of_task,
                                        std::vector<PhaseRouting> routing,
                                        const CostModel& model,
-                                       int load_bound_B, int max_passes) {
+                                       int load_bound_B, int max_passes,
+                                       std::vector<std::int64_t> link_factor) {
   const int n = graph.num_tasks();
   IncrementalCompletion inc(graph, topo, std::move(proc_of_task),
-                            std::move(routing), model);
+                            std::move(routing), model,
+                            std::move(link_factor));
 
   PlacementRefineResult result;
   result.completion_before = inc.completion();

@@ -61,9 +61,14 @@ struct PlacementRefineResult {
 /// lowest processor id). A move is admitted only while the destination
 /// hosts fewer than `load_bound_B` tasks (0 = unbounded). Deterministic;
 /// never worsens the completion time; `max_passes` bounds the sweeps.
+///
+/// `link_factor` (optional, empty = all 1) is a per-link serialisation
+/// multiplier forwarded to IncrementalCompletion, so refinement on a
+/// degraded machine steers traffic away from slowed links.
 [[nodiscard]] PlacementRefineResult refine_placement(
     const TaskGraph& graph, const Topology& topo,
     std::vector<int> proc_of_task, std::vector<PhaseRouting> routing,
-    const CostModel& model = {}, int load_bound_B = 0, int max_passes = 4);
+    const CostModel& model = {}, int load_bound_B = 0, int max_passes = 4,
+    std::vector<std::int64_t> link_factor = {});
 
 }  // namespace oregami

@@ -1,0 +1,300 @@
+#include "oregami/mapper/repair.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "oregami/arch/routes.hpp"
+#include "oregami/mapper/refine.hpp"
+#include "oregami/metrics/incremental.hpp"
+#include "oregami/support/error.hpp"
+
+namespace oregami {
+
+std::string to_string(RepairRung rung) {
+  switch (rung) {
+    case RepairRung::None:
+      return "none";
+    case RepairRung::Migrate:
+      return "migrate";
+    case RepairRung::Refine:
+      return "refine";
+    case RepairRung::Remap:
+      return "remap";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deadline tracker; a non-positive budget never consults the clock
+/// (<= -1 is "already expired", 0 is "no deadline"), keeping those
+/// modes bit-deterministic.
+struct Deadline {
+  explicit Deadline(std::int64_t budget_ms)
+      : mode(budget_ms == 0 ? Mode::None
+                            : budget_ms < 0 ? Mode::Expired : Mode::Timed),
+        at(Clock::now() + std::chrono::milliseconds(
+                              budget_ms > 0 ? budget_ms : 0)) {}
+
+  [[nodiscard]] bool passed() const {
+    switch (mode) {
+      case Mode::None:
+        return false;
+      case Mode::Expired:
+        return true;
+      case Mode::Timed:
+        return Clock::now() >= at;
+    }
+    return false;
+  }
+
+  enum class Mode { None, Expired, Timed };
+  Mode mode;
+  Clock::time_point at;
+};
+
+/// Same rebuild as the driver's (anonymous) helper: clusters are the
+/// occupied processors in ascending order, so the embedding is
+/// injective by construction.
+Mapping mapping_from_placement(const std::vector<int>& proc_of_task,
+                               std::vector<PhaseRouting> routing,
+                               int num_procs) {
+  std::vector<int> cluster_of_proc(static_cast<std::size_t>(num_procs), -1);
+  Mapping mapping;
+  for (const int p : proc_of_task) {
+    cluster_of_proc[static_cast<std::size_t>(p)] = 0;
+  }
+  for (int p = 0; p < num_procs; ++p) {
+    if (cluster_of_proc[static_cast<std::size_t>(p)] == 0) {
+      cluster_of_proc[static_cast<std::size_t>(p)] =
+          mapping.contraction.num_clusters++;
+      mapping.embedding.proc_of_cluster.push_back(p);
+    }
+  }
+  for (const int p : proc_of_task) {
+    mapping.contraction.cluster_of_task.push_back(
+        cluster_of_proc[static_cast<std::size_t>(p)]);
+  }
+  mapping.routing = std::move(routing);
+  return mapping;
+}
+
+/// Nearest healthy processor to `from` by base-topology hop distance
+/// (ties: lowest processor id; unreachable-in-base pairs sort last).
+int nearest_healthy(const FaultedTopology& faults, int from) {
+  const DistanceRow row = faults.base().distance_row(from);
+  int best = -1;
+  long best_d = std::numeric_limits<long>::max();
+  for (const int q : faults.healthy_procs()) {
+    const int d = row[q];
+    const long key = d < 0 ? std::numeric_limits<long>::max() - 1 : d;
+    if (key < best_d) {
+      best_d = key;
+      best = q;
+    }
+  }
+  return best;
+}
+
+/// Re-routes every comm edge greedily on the faulted topology
+/// (faulted link ids). Every endpoint must be healthy.
+std::vector<PhaseRouting> reroute_on_faulted(
+    const TaskGraph& graph, const FaultedTopology& faults,
+    const std::vector<int>& proc_of_task) {
+  const Topology& ftopo = faults.faulted();
+  std::vector<PhaseRouting> routing(graph.comm_phases().size());
+  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+    const auto& phase = graph.comm_phases()[k];
+    routing[k].route_of_edge.reserve(phase.edges.size());
+    for (const auto& edge : phase.edges) {
+      const int src = proc_of_task[static_cast<std::size_t>(edge.src)];
+      const int dst = proc_of_task[static_cast<std::size_t>(edge.dst)];
+      routing[k].route_of_edge.push_back(
+          src == dst ? Route{{src}, {}}
+                     : greedy_shortest_route(ftopo, src, dst));
+    }
+  }
+  return routing;
+}
+
+/// Translates faulted-link-id routing back into base link ids.
+std::vector<PhaseRouting> routing_to_base(
+    const FaultedTopology& faults, std::vector<PhaseRouting> routing) {
+  for (auto& phase : routing) {
+    for (auto& route : phase.route_of_edge) {
+      route = faults.to_base(std::move(route));
+    }
+  }
+  return routing;
+}
+
+}  // namespace
+
+RepairResult repair_mapping(const TaskGraph& graph,
+                            const FaultedTopology& faults,
+                            const Mapping& mapping,
+                            const RepairOptions& options) {
+  const Topology& base = faults.base();
+  const Deadline deadline(options.time_budget_ms);
+
+  std::vector<int> proc = mapping.proc_of_task();
+  if (static_cast<int>(proc.size()) != graph.num_tasks()) {
+    throw MappingError("repair: mapping does not cover the task graph");
+  }
+  if (mapping.routing.size() != graph.comm_phases().size()) {
+    throw MappingError("repair: routing does not cover the comm phases");
+  }
+
+  RepairResult result;
+  result.healthy_completion = completion_time(
+      graph, proc, mapping.routing, base, options.model);
+
+  if (faults.spec().empty()) {
+    result.mapping = mapping;
+    result.rung = RepairRung::None;
+    result.details = "no faults injected; mapping unchanged";
+    result.degraded_completion = result.healthy_completion;
+    return result;
+  }
+
+  if (faults.healthy_procs().empty()) {
+    throw MappingError(
+        "repair: no healthy processors remain (spec: " +
+        faults.spec().to_string() + ")");
+  }
+
+  const Topology& ftopo = faults.faulted();
+
+  if (options.allow_migrate) {
+    // --- Rung 1: migrate displaced tasks, re-route everything. ---
+    for (int t = 0; t < graph.num_tasks(); ++t) {
+      const int p = proc[static_cast<std::size_t>(t)];
+      if (!faults.healthy(p)) {
+        const int to = nearest_healthy(faults, p);
+        result.migrations.push_back({t, p, to});
+        proc[static_cast<std::size_t>(t)] = to;
+      }
+    }
+    std::vector<PhaseRouting> routing =
+        reroute_on_faulted(graph, faults, proc);
+
+    IncrementalCompletion inc(graph, ftopo, std::move(proc),
+                              std::move(routing), options.model,
+                              faults.faulted_link_factors());
+
+    // Improvement loop over the displaced tasks only, with an
+    // exponentially growing radius. Healthy candidates are enumerated
+    // by faulted-topology distance from the task's current processor.
+    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+      if (deadline.passed()) {
+        result.deadline_hit = true;
+        break;
+      }
+      const int radius = attempt < 30 ? (1 << attempt)
+                                      : std::numeric_limits<int>::max() / 2;
+      bool improved = false;
+      for (const RepairMove& move : result.migrations) {
+        if (deadline.passed()) {
+          result.deadline_hit = true;
+          break;
+        }
+        const int t = move.task;
+        const int here =
+            inc.proc_of_task()[static_cast<std::size_t>(t)];
+        const DistanceRow row = ftopo.distance_row(here);
+        std::int64_t best_delta = 0;
+        int best_proc = -1;
+        for (const int q : faults.healthy_procs()) {
+          if (q == here) {
+            continue;
+          }
+          const int d = row[q];
+          if (d < 0 || d > radius) {
+            continue;
+          }
+          const std::int64_t delta = inc.delta_move(t, q);
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_proc = q;
+          }
+        }
+        if (best_proc >= 0) {
+          inc.apply_move(t, best_proc);
+          improved = true;
+        }
+      }
+      ++result.attempts;
+      if (result.deadline_hit || !improved) {
+        break;
+      }
+    }
+    // Record where each displaced task actually landed.
+    for (RepairMove& move : result.migrations) {
+      move.to_proc =
+          inc.proc_of_task()[static_cast<std::size_t>(move.task)];
+    }
+
+    result.rung = RepairRung::Migrate;
+    result.details =
+        "migrated " + std::to_string(result.migrations.size()) +
+        " task(s) in " + std::to_string(result.attempts) + " attempt(s)";
+
+    std::vector<int> repaired_proc = inc.proc_of_task();
+    std::vector<PhaseRouting> repaired_routing = inc.routing();
+
+    // --- Rung 2: local refinement polish (healthy candidates only:
+    // dead processors have no surviving links in the faulted graph).
+    if (options.allow_refine && !deadline.passed()) {
+      PlacementRefineResult refined = refine_placement(
+          graph, ftopo, std::move(repaired_proc),
+          std::move(repaired_routing), options.model, /*load_bound_B=*/0,
+          /*max_passes=*/4, faults.faulted_link_factors());
+      if (refined.moves > 0) {
+        result.rung = RepairRung::Refine;
+        result.details += "; refinement -" +
+                          std::to_string(refined.improvement()) +
+                          " completion (" + std::to_string(refined.moves) +
+                          " moves)";
+      }
+      repaired_proc = std::move(refined.proc_of_task);
+      repaired_routing = std::move(refined.routing);
+    } else if (options.allow_refine) {
+      result.deadline_hit = true;
+      result.details += "; refinement skipped (deadline)";
+    }
+
+    result.mapping = mapping_from_placement(
+        repaired_proc,
+        routing_to_base(faults, std::move(repaired_routing)),
+        base.num_procs());
+  } else if (options.allow_remap) {
+    // --- Rung 3: full remap on the compacted healthy machine. ---
+    const FaultedTopology::HealthySub sub = faults.healthy_subtopology();
+    MapperOptions remap_options = options.remap_options;
+    remap_options.portfolio_seed = options.seed != 0
+                                       ? options.seed
+                                       : remap_options.portfolio_seed;
+    MapperReport report = map_computation(graph, sub.topo, remap_options);
+    result.mapping = map_to_base(sub, std::move(report.mapping));
+    result.rung = RepairRung::Remap;
+    result.details = "full remap on " +
+                     std::to_string(sub.topo.num_procs()) +
+                     " healthy processor(s): " + report.details;
+  } else {
+    throw MappingError(
+        "repair: every admissible rung is disabled "
+        "(allow_migrate and allow_remap are both false)");
+  }
+
+  validate_mapping(result.mapping, graph, base);
+  result.degraded_completion = degraded_completion_time(
+      graph, result.mapping.proc_of_task(), result.mapping.routing, faults,
+      options.model);
+  return result;
+}
+
+}  // namespace oregami

@@ -1,6 +1,7 @@
 #include "oregami/metrics/completion_model.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "oregami/support/error.hpp"
 
@@ -111,6 +112,119 @@ std::int64_t completion_time(const TaskGraph& graph,
   }
   return walk(graph.phase_expr(), graph, proc_of_task, routing, topo,
               model);
+}
+
+namespace {
+
+/// comm_phase_time with each link's volume weighted by its slowdown.
+std::int64_t degraded_comm_phase_time(const TaskGraph& graph,
+                                      int phase_index,
+                                      const PhaseRouting& routing,
+                                      const FaultedTopology& faults,
+                                      const CostModel& model) {
+  const auto& phase =
+      graph.comm_phases()[static_cast<std::size_t>(phase_index)];
+  OREGAMI_ASSERT(routing.route_of_edge.size() == phase.edges.size(),
+                 "routing must cover the phase");
+  const Topology& topo = faults.base();
+  thread_local std::vector<std::int64_t> volume_on_link;
+  volume_on_link.assign(static_cast<std::size_t>(topo.num_links()), 0);
+  int max_hops = 0;
+  for (std::size_t i = 0; i < phase.edges.size(); ++i) {
+    const auto& route = routing.route_of_edge[i];
+    for (const int link : route.links) {
+      volume_on_link[static_cast<std::size_t>(link)] +=
+          phase.edges[i].volume * faults.link_slowdown(link);
+    }
+    max_hops = std::max(max_hops, route.hops());
+  }
+  const std::int64_t max_volume =
+      volume_on_link.empty()
+          ? 0
+          : *std::max_element(volume_on_link.begin(), volume_on_link.end());
+  return max_volume * model.per_unit_cost +
+         static_cast<std::int64_t>(max_hops) * model.hop_latency;
+}
+
+std::int64_t degraded_walk(const PhaseTree& node, const TaskGraph& graph,
+                           const std::vector<int>& proc_of_task,
+                           const std::vector<PhaseRouting>& routing,
+                           const FaultedTopology& faults,
+                           const CostModel& model) {
+  switch (node.kind) {
+    case PhaseTree::Kind::Idle:
+      return 0;
+    case PhaseTree::Kind::Comm:
+      return degraded_comm_phase_time(
+          graph, node.phase_index,
+          routing[static_cast<std::size_t>(node.phase_index)], faults,
+          model);
+    case PhaseTree::Kind::Exec:
+      return exec_phase_time(graph, node.phase_index, proc_of_task,
+                             faults.base().num_procs());
+    case PhaseTree::Kind::Seq: {
+      std::int64_t total = 0;
+      for (const auto& child : node.children) {
+        total += degraded_walk(child, graph, proc_of_task, routing, faults,
+                               model);
+      }
+      return total;
+    }
+    case PhaseTree::Kind::Par: {
+      std::int64_t best = 0;
+      for (const auto& child : node.children) {
+        best = std::max(best, degraded_walk(child, graph, proc_of_task,
+                                            routing, faults, model));
+      }
+      return best;
+    }
+    case PhaseTree::Kind::Repeat:
+      return node.count * degraded_walk(node.children.front(), graph,
+                                        proc_of_task, routing, faults,
+                                        model);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t degraded_completion_time(
+    const TaskGraph& graph, const std::vector<int>& proc_of_task,
+    const std::vector<PhaseRouting>& routing, const FaultedTopology& faults,
+    const CostModel& model) {
+  OREGAMI_ASSERT(routing.size() == graph.comm_phases().size(),
+                 "routing must cover every phase");
+  for (int t = 0; t < graph.num_tasks(); ++t) {
+    const int p = proc_of_task[static_cast<std::size_t>(t)];
+    if (!faults.proc_alive(p)) {
+      throw MappingError("task " + std::to_string(t) +
+                         " is placed on dead processor " +
+                         std::to_string(p));
+    }
+  }
+  for (std::size_t k = 0; k < routing.size(); ++k) {
+    for (std::size_t m = 0; m < routing[k].route_of_edge.size(); ++m) {
+      if (!faults.route_alive(routing[k].route_of_edge[m])) {
+        throw MappingError("comm phase " + std::to_string(k) +
+                           " message " + std::to_string(m) +
+                           " is routed across a dead link or processor");
+      }
+    }
+  }
+  if (graph.phase_expr().kind == PhaseTree::Kind::Idle) {
+    std::int64_t total = 0;
+    for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+      total += degraded_comm_phase_time(graph, static_cast<int>(k),
+                                        routing[k], faults, model);
+    }
+    for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
+      total += exec_phase_time(graph, static_cast<int>(k), proc_of_task,
+                               faults.base().num_procs());
+    }
+    return total;
+  }
+  return degraded_walk(graph.phase_expr(), graph, proc_of_task, routing,
+                       faults, model);
 }
 
 }  // namespace oregami

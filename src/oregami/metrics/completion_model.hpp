@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "oregami/arch/fault_model.hpp"
 #include "oregami/arch/topology.hpp"
 #include "oregami/core/mapping.hpp"
 #include "oregami/core/task_graph.hpp"
@@ -45,6 +46,18 @@ struct CostModel {
 [[nodiscard]] std::int64_t completion_time(
     const TaskGraph& graph, const std::vector<int>& proc_of_task,
     const std::vector<PhaseRouting>& routing, const Topology& topo,
+    const CostModel& model = {});
+
+/// completion_time() on the degraded machine: each link's serialised
+/// volume is multiplied by its slowdown factor, so the phase bottleneck
+/// is max over links of (volume * factor). Routes and placement are in
+/// BASE ids; throws MappingError when a task sits on a dead processor
+/// or a route crosses a dead link/processor (the mapping is invalid on
+/// the faulted machine -- repair it first). With an empty FaultSpec
+/// this equals completion_time() exactly.
+[[nodiscard]] std::int64_t degraded_completion_time(
+    const TaskGraph& graph, const std::vector<int>& proc_of_task,
+    const std::vector<PhaseRouting>& routing, const FaultedTopology& faults,
     const CostModel& model = {});
 
 }  // namespace oregami

@@ -23,16 +23,24 @@ std::int64_t cost_of(const ExecPhase& phase, int task) {
 IncrementalCompletion::IncrementalCompletion(
     const TaskGraph& graph, const Topology& topo,
     std::vector<int> proc_of_task, std::vector<PhaseRouting> routing,
-    CostModel model)
+    CostModel model, std::vector<std::int64_t> link_factor)
     : graph_(graph),
       topo_(topo),
       model_(model),
       proc_of_task_(std::move(proc_of_task)),
-      routing_(std::move(routing)) {
+      routing_(std::move(routing)),
+      link_factor_(std::move(link_factor)) {
   const int num_tasks = graph_.num_tasks();
   const int num_procs = topo_.num_procs();
   OREGAMI_ASSERT(static_cast<int>(proc_of_task_.size()) == num_tasks,
                  "placement must cover every task");
+  OREGAMI_ASSERT(link_factor_.empty() ||
+                     static_cast<int>(link_factor_.size()) ==
+                         topo_.num_links(),
+                 "link factors must cover every link");
+  for (const std::int64_t f : link_factor_) {
+    OREGAMI_ASSERT(f >= 1, "link factors must be >= 1");
+  }
   OREGAMI_ASSERT(routing_.size() == graph_.comm_phases().size(),
                  "routing must cover every comm phase");
   for (const int p : proc_of_task_) {
@@ -52,7 +60,8 @@ IncrementalCompletion::IncrementalCompletion(
       OREGAMI_ASSERT(edge.volume >= 0, "negative comm volume");
       const auto& route = routing_[k].route_of_edge[i];
       for (const int link : route.links) {
-        state.volume[static_cast<std::size_t>(link)] += edge.volume;
+        state.volume[static_cast<std::size_t>(link)] +=
+            edge.volume * link_weight(link);
       }
       if (static_cast<int>(state.hops_hist.size()) <= route.hops()) {
         state.hops_hist.resize(static_cast<std::size_t>(route.hops()) + 1,
@@ -96,12 +105,12 @@ IncrementalCompletion::IncrementalCompletion(
   link_delta_.assign(static_cast<std::size_t>(topo_.num_links()), 0);
 }
 
-IncrementalCompletion::IncrementalCompletion(const TaskGraph& graph,
-                                             const Topology& topo,
-                                             const Mapping& mapping,
-                                             CostModel model)
+IncrementalCompletion::IncrementalCompletion(
+    const TaskGraph& graph, const Topology& topo, const Mapping& mapping,
+    CostModel model, std::vector<std::int64_t> link_factor)
     : IncrementalCompletion(graph, topo, mapping.proc_of_task(),
-                            mapping.routing, model) {}
+                            mapping.routing, model,
+                            std::move(link_factor)) {}
 
 void IncrementalCompletion::rebuild_exec_tracker(ExecState& state) const {
   state.max = 0;
@@ -263,7 +272,7 @@ std::int64_t IncrementalCompletion::delta_move(int task, int to_proc) const {
           routing_[static_cast<std::size_t>(k)]
               .route_of_edge[static_cast<std::size_t>(i)];
       for (const int link : old_route.links) {
-        touch(link, -edge.volume);
+        touch(link, -edge.volume * link_weight(link));
       }
       --hops_scratch_[static_cast<std::size_t>(old_route.hops())];
       const int src_task = edge.src;
@@ -296,7 +305,7 @@ std::int64_t IncrementalCompletion::delta_move(int task, int to_proc) const {
             }
           }
           OREGAMI_ASSERT(next != -1, "destination must be reachable");
-          touch(next_link, edge.volume);
+          touch(next_link, edge.volume * link_weight(next_link));
           ++new_hops;
           current = next;
         }
@@ -385,13 +394,15 @@ void IncrementalCompletion::place_task(
     Route& slot = routing_[static_cast<std::size_t>(k)]
                       .route_of_edge[static_cast<std::size_t>(i)];
     for (const int link : slot.links) {
-      state.volume[static_cast<std::size_t>(link)] -= edge.volume;
+      state.volume[static_cast<std::size_t>(link)] -=
+          edge.volume * link_weight(link);
     }
     --state.hops_hist[static_cast<std::size_t>(slot.hops())];
     slot = forced_routes != nullptr ? (*forced_routes)[j]
                                     : route_for(k, i);
     for (const int link : slot.links) {
-      state.volume[static_cast<std::size_t>(link)] += edge.volume;
+      state.volume[static_cast<std::size_t>(link)] +=
+          edge.volume * link_weight(link);
     }
     if (static_cast<int>(state.hops_hist.size()) <= slot.hops()) {
       state.hops_hist.resize(static_cast<std::size_t>(slot.hops()) + 1, 0);

@@ -36,14 +36,23 @@ class IncrementalCompletion {
   /// Takes ownership of a task-level placement and its routing (e.g.
   /// Mapping::proc_of_task() + Mapping::routing). Requires every comm
   /// volume and exec cost to be non-negative (the cost model's domain).
+  ///
+  /// `link_factor` (optional) is a per-link serialisation multiplier
+  /// (index = link id in `topo`, every entry >= 1; empty means all 1):
+  /// a link's volume contribution is weighted by its factor, so the
+  /// phase bottleneck is max over links of (volume * factor). This is
+  /// how degraded-mode scoring charges slowed links their real cost
+  /// (see FaultedTopology::faulted_link_factors()).
   IncrementalCompletion(const TaskGraph& graph, const Topology& topo,
                         std::vector<int> proc_of_task,
                         std::vector<PhaseRouting> routing,
-                        CostModel model = {});
+                        CostModel model = {},
+                        std::vector<std::int64_t> link_factor = {});
 
   /// Convenience: start from a MAPPER-produced mapping.
   IncrementalCompletion(const TaskGraph& graph, const Topology& topo,
-                        const Mapping& mapping, CostModel model = {});
+                        const Mapping& mapping, CostModel model = {},
+                        std::vector<std::int64_t> link_factor = {});
 
   [[nodiscard]] std::int64_t completion() const { return completion_; }
   [[nodiscard]] const std::vector<int>& proc_of_task() const {
@@ -106,11 +115,18 @@ class IncrementalCompletion {
   void place_task(int task, int to_proc,
                   const std::vector<Route>* forced_routes);
 
+  [[nodiscard]] std::int64_t link_weight(int link) const {
+    return link_factor_.empty()
+               ? 1
+               : link_factor_[static_cast<std::size_t>(link)];
+  }
+
   const TaskGraph& graph_;
   const Topology& topo_;
   CostModel model_;
   std::vector<int> proc_of_task_;
   std::vector<PhaseRouting> routing_;
+  std::vector<std::int64_t> link_factor_;  ///< empty = all links factor 1
 
   std::vector<ExecState> exec_;
   std::vector<CommState> comm_;

@@ -2,10 +2,33 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 
 #include "oregami/support/error.hpp"
 
 namespace oregami {
+
+namespace {
+
+/// Degraded-mode route validation: a phase whose routing crosses a dead
+/// link or processor is unroutable on the faulted machine; report which
+/// message broke instead of simulating garbage.
+void check_routes_against_faults(const FaultedTopology& faults,
+                                 int phase_index,
+                                 const PhaseRouting& routing) {
+  for (std::size_t m = 0; m < routing.route_of_edge.size(); ++m) {
+    if (!faults.route_alive(routing.route_of_edge[m])) {
+      throw MappingError(
+          "comm phase " + std::to_string(phase_index) + " message " +
+          std::to_string(m) +
+          " is routed across a dead link or processor; the phase is "
+          "unroutable on the faulted topology (spec: " +
+          faults.spec().to_string() + ")");
+    }
+  }
+}
+
+}  // namespace
 
 PhaseSimResult simulate_comm_phase(const TaskGraph& graph, int phase_index,
                                    const PhaseRouting& routing,
@@ -15,6 +38,9 @@ PhaseSimResult simulate_comm_phase(const TaskGraph& graph, int phase_index,
       graph.comm_phases()[static_cast<std::size_t>(phase_index)];
   OREGAMI_ASSERT(routing.route_of_edge.size() == phase.edges.size(),
                  "routing must cover the phase");
+  if (config.faults != nullptr) {
+    check_routes_against_faults(*config.faults, phase_index, routing);
+  }
   PhaseSimResult result;
   result.link_busy.assign(static_cast<std::size_t>(topo.num_links()), 0);
   result.delivery.assign(phase.edges.size(), 0);
@@ -46,8 +72,10 @@ PhaseSimResult simulate_comm_phase(const TaskGraph& graph, int phase_index,
     const int link = route.links[next_hop[static_cast<std::size_t>(m)]];
     const std::int64_t volume =
         phase.edges[static_cast<std::size_t>(m)].volume;
+    const std::int64_t slowdown =
+        config.faults != nullptr ? config.faults->link_slowdown(link) : 1;
     const std::int64_t transfer =
-        volume * config.cycles_per_unit + config.hop_latency;
+        volume * config.cycles_per_unit * slowdown + config.hop_latency;
     const std::int64_t start =
         std::max(time, link_free[static_cast<std::size_t>(link)]);
     const std::int64_t finish = start + transfer;
@@ -162,6 +190,17 @@ SimResult simulate(const TaskGraph& graph,
                    const Topology& topo, const SimConfig& config) {
   OREGAMI_ASSERT(routing.size() == graph.comm_phases().size(),
                  "routing must cover every phase");
+  if (config.faults != nullptr) {
+    for (int t = 0; t < graph.num_tasks(); ++t) {
+      const int p = proc_of_task[static_cast<std::size_t>(t)];
+      if (!config.faults->proc_alive(p)) {
+        throw MappingError("task " + std::to_string(t) +
+                           " is placed on dead processor " +
+                           std::to_string(p) + " (spec: " +
+                           config.faults->spec().to_string() + ")");
+      }
+    }
+  }
   Walker walker{graph,
                 proc_of_task,
                 routing,

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "oregami/arch/fault_model.hpp"
 #include "oregami/arch/topology.hpp"
 #include "oregami/core/mapping.hpp"
 #include "oregami/core/task_graph.hpp"
@@ -34,6 +35,13 @@ namespace oregami {
 struct SimConfig {
   std::int64_t hop_latency = 1;      ///< per-hop fixed cost (cycles)
   std::int64_t cycles_per_unit = 1;  ///< serialisation per volume unit
+  /// Optional degraded machine (not owned; must outlive the call).
+  /// When set, every route is re-validated against the faulted
+  /// topology before injection -- a route over a dead link or dead
+  /// processor, or a task placed on a dead processor, raises a clean
+  /// MappingError (never a hang or assert) -- and serialisation
+  /// through a slowed link is multiplied by its degradation factor.
+  const FaultedTopology* faults = nullptr;
 };
 
 /// Result of simulating one communication phase.

@@ -1,0 +1,44 @@
+# Exercises oregami_map's exit-code contract:
+#   0 ok, 1 internal, 2 usage, 3 bad input, 4 mapping infeasible.
+# Run via:  cmake -DOREGAMI_MAP=... -DSAMPLES=... -P cli_exit_codes.cmake
+function(expect_exit expected)
+  execute_process(COMMAND ${OREGAMI_MAP} ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT code EQUAL expected)
+    message(FATAL_ERROR
+            "oregami_map ${ARGN}: expected exit ${expected}, got ${code}")
+  endif()
+endfunction()
+
+# 0: successful runs, healthy and degraded.
+expect_exit(0 --list-programs)
+expect_exit(0 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4)
+expect_exit(0 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --inject-faults p5 --repair)
+expect_exit(0 --larcs ${SAMPLES}/wavefront.larcs --bind n=8
+            --topology mesh:8x8)
+
+# 2: usage errors.
+expect_exit(2 --frobnicate)
+expect_exit(2)                                    # missing required args
+expect_exit(2 --program jacobi)                   # no topology
+expect_exit(2 --program jacobi --topology mesh:4x4 --repair)  # no faults
+expect_exit(2 --program jacobi --topology mesh:4x4 --jobs -1)
+expect_exit(2 --program jacobi --topology mesh:4x4 --portfolio x)
+
+# 3: bad input.
+expect_exit(3 --larcs /nonexistent/file.larcs --topology mesh:4x4)
+expect_exit(3 --program no-such-program --topology mesh:4x4)
+expect_exit(3 --program jacobi --bind n=8 --bind iters=10
+            --topology badfamily:9)
+expect_exit(3 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --inject-faults p99)
+expect_exit(3 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --inject-faults "!!")
+expect_exit(3 --program jacobi --topology mesh:4x4)  # missing bindings
+
+# 4: mapping infeasible (machine fully dead).
+expect_exit(4 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:2x2 --inject-faults p0,p1,p2,p3)

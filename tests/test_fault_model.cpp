@@ -1,0 +1,244 @@
+// FaultSpec / FaultedTopology unit tests: parsing grammar, normalise /
+// validate behaviour, deterministic random specs, and the structural
+// invariants of the degraded view (stable processor ids, exact link-id
+// bijection, largest-component healthy set, route translation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "oregami/arch/fault_model.hpp"
+#include "oregami/arch/routes.hpp"
+#include "oregami/arch/topology_spec.hpp"
+#include "oregami/support/error.hpp"
+#include "oregami/support/rng.hpp"
+
+namespace oregami {
+namespace {
+
+TEST(FaultSpec, ParsesEveryTokenKind) {
+  const Topology topo = Topology::mesh(4, 4);
+  const FaultSpec spec = FaultSpec::parse("p5,l0,s3:4", topo);
+  EXPECT_EQ(spec.dead_procs, std::vector<int>{5});
+  EXPECT_EQ(spec.dead_links, std::vector<int>{0});
+  ASSERT_EQ(spec.slow_links.size(), 1u);
+  EXPECT_EQ(spec.slow_links[0].link, 3);
+  EXPECT_EQ(spec.slow_links[0].factor, 4);
+}
+
+TEST(FaultSpec, ParsesEndpointPairSyntax) {
+  const Topology topo = Topology::ring(6);
+  // In a ring, processors 2 and 3 share a link.
+  const FaultSpec spec = FaultSpec::parse("l2-3,s4-5:7", topo);
+  ASSERT_EQ(spec.dead_links.size(), 1u);
+  ASSERT_EQ(spec.slow_links.size(), 1u);
+  const auto [u1, v1] = topo.link_endpoints(spec.dead_links[0]);
+  EXPECT_EQ(std::make_pair(std::min(u1, v1), std::max(u1, v1)),
+            std::make_pair(2, 3));
+  const auto [u2, v2] = topo.link_endpoints(spec.slow_links[0].link);
+  EXPECT_EQ(std::make_pair(std::min(u2, v2), std::max(u2, v2)),
+            std::make_pair(4, 5));
+}
+
+TEST(FaultSpec, RejectsMalformedTokens) {
+  const Topology topo = Topology::ring(6);
+  for (const char* bad :
+       {"", "q1", "p", "pX", "p99", "l99", "l0-2", "s0", "s0:0", "s0:x",
+        "p1,,p2", "rand:1x1", "rand:axbxc"}) {
+    EXPECT_THROW((void)FaultSpec::parse(bad, topo), MappingError)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(FaultSpec, NormaliseSortsAndDeduplicates) {
+  FaultSpec spec;
+  spec.dead_procs = {3, 1, 3, 2};
+  spec.dead_links = {5, 5, 0};
+  spec.slow_links = {{2, 3}, {2, 2}};  // duplicate factors multiply
+  spec.normalise();
+  EXPECT_EQ(spec.dead_procs, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(spec.dead_links, (std::vector<int>{0, 5}));
+  ASSERT_EQ(spec.slow_links.size(), 1u);
+  EXPECT_EQ(spec.slow_links[0].factor, 6);
+}
+
+TEST(FaultSpec, ToStringRoundTrips) {
+  const Topology topo = Topology::mesh(4, 4);
+  FaultSpec spec = FaultSpec::parse("s3:4,p5,l0,p2", topo);
+  const std::string text = spec.to_string();
+  const FaultSpec again = FaultSpec::parse(text, topo);
+  EXPECT_EQ(again.to_string(), text);
+  EXPECT_EQ(again.dead_procs, spec.dead_procs);
+  EXPECT_EQ(again.dead_links, spec.dead_links);
+}
+
+TEST(FaultSpec, RandomSpecIsDeterministicAndInRange) {
+  const Topology topo = Topology::hypercube(4);
+  const FaultSpec a = FaultSpec::random_spec(topo, 3, 4, 5, 42);
+  const FaultSpec b = FaultSpec::random_spec(topo, 3, 4, 5, 42);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  const FaultSpec c = FaultSpec::random_spec(topo, 3, 4, 5, 43);
+  EXPECT_NE(a.to_string(), c.to_string());  // overwhelmingly likely
+  EXPECT_EQ(a.dead_procs.size(), 3u);
+  EXPECT_EQ(a.dead_links.size(), 4u);
+  EXPECT_EQ(a.slow_links.size(), 5u);
+  EXPECT_NO_THROW(a.validate(topo));
+  // Dead and slowed links are disjoint.
+  for (const SlowLink& s : a.slow_links) {
+    EXPECT_EQ(std::find(a.dead_links.begin(), a.dead_links.end(), s.link),
+              a.dead_links.end());
+  }
+}
+
+TEST(FaultSpec, RandomSpecClampsToMachineSize) {
+  const Topology topo = Topology::chain(3);  // 3 procs, 2 links
+  const FaultSpec spec = FaultSpec::random_spec(topo, 99, 99, 99, 7);
+  EXPECT_LE(spec.dead_procs.size(), 3u);
+  EXPECT_LE(spec.dead_links.size(), 2u);
+  EXPECT_NO_THROW(spec.validate(topo));
+}
+
+TEST(FaultedTopology, ProcessorIdsAreStable) {
+  const Topology topo = Topology::mesh(4, 4);
+  const FaultedTopology ft(topo, FaultSpec::parse("p5,p10", topo));
+  EXPECT_EQ(ft.faulted().num_procs(), topo.num_procs());
+  EXPECT_FALSE(ft.proc_alive(5));
+  EXPECT_FALSE(ft.proc_alive(10));
+  EXPECT_EQ(ft.num_alive_procs(), 14);
+  // Dead processors are isolated in the degraded graph.
+  for (int l = 0; l < ft.faulted().num_links(); ++l) {
+    const auto [u, v] = ft.faulted().link_endpoints(l);
+    EXPECT_NE(u, 5);
+    EXPECT_NE(v, 5);
+    EXPECT_NE(u, 10);
+    EXPECT_NE(v, 10);
+  }
+}
+
+TEST(FaultedTopology, LinkBijectionIsExact) {
+  const Topology topo = Topology::torus(4, 4);
+  const FaultedTopology ft(topo, FaultSpec::parse("l0,l7,p3", topo));
+  int surviving = 0;
+  for (int l = 0; l < topo.num_links(); ++l) {
+    const int f = ft.faulted_link_of(l);
+    if (ft.link_alive(l)) {
+      ASSERT_GE(f, 0);
+      EXPECT_EQ(ft.base_link_of(f), l);
+      // Same endpoints in both numberings (processor ids are stable).
+      EXPECT_EQ(ft.faulted().link_endpoints(f), topo.link_endpoints(l));
+      ++surviving;
+    } else {
+      EXPECT_EQ(f, -1);
+    }
+  }
+  EXPECT_EQ(surviving, ft.num_alive_links());
+}
+
+TEST(FaultedTopology, HealthyIsLargestComponent) {
+  // Chain 0-1-2-3-4-5: killing link 2-3 splits {0,1,2} / {3,4,5};
+  // the tie breaks toward the component with processor 0.
+  const Topology topo = Topology::chain(6);
+  const FaultedTopology ft(topo, FaultSpec::parse("l2-3", topo));
+  EXPECT_FALSE(ft.fully_connected());
+  EXPECT_EQ(ft.healthy_procs(), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(ft.healthy(1));
+  EXPECT_FALSE(ft.healthy(4));
+  // Killing 0 and 1 as well leaves {3,4,5} as the largest component.
+  const FaultedTopology ft2(topo, FaultSpec::parse("l2-3,p0,p1", topo));
+  EXPECT_EQ(ft2.healthy_procs(), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(FaultedTopology, EmptySpecIsFullyHealthy) {
+  const Topology topo = Topology::hypercube(3);
+  const FaultedTopology ft(topo, FaultSpec{});
+  EXPECT_TRUE(ft.fully_connected());
+  EXPECT_EQ(ft.num_alive_procs(), 8);
+  EXPECT_EQ(ft.num_alive_links(), topo.num_links());
+  EXPECT_EQ(static_cast<int>(ft.healthy_procs().size()), 8);
+  for (int l = 0; l < topo.num_links(); ++l) {
+    EXPECT_EQ(ft.link_slowdown(l), 1);
+  }
+}
+
+TEST(FaultedTopology, RouteTranslationAndLiveness) {
+  const Topology topo = Topology::mesh(3, 3);
+  const FaultedTopology ft(topo, FaultSpec::parse("p4", topo));  // center
+  // A route through the dead centre is not alive; the perimeter is.
+  const Route through = greedy_shortest_route(topo, 3, 5);  // 3-4-5
+  EXPECT_FALSE(ft.route_alive(through));
+  EXPECT_THROW((void)ft.to_faulted(through), MappingError);
+  const Route around = greedy_shortest_route(ft.faulted(), 3, 5);
+  const Route base_route = ft.to_base(around);
+  EXPECT_TRUE(ft.route_alive(base_route));
+  EXPECT_EQ(base_route.nodes, around.nodes);  // node ids are stable
+  // And translating back is the identity.
+  EXPECT_EQ(ft.to_faulted(base_route).links, around.links);
+}
+
+TEST(FaultedTopology, SlowdownFactorsExposedPerFaultedLink) {
+  const Topology topo = Topology::ring(5);
+  const FaultedTopology ft(topo, FaultSpec::parse("s0:3,l1", topo));
+  const auto factors = ft.faulted_link_factors();
+  ASSERT_EQ(static_cast<int>(factors.size()), ft.num_alive_links());
+  for (int f = 0; f < ft.num_alive_links(); ++f) {
+    EXPECT_EQ(factors[static_cast<std::size_t>(f)],
+              ft.link_slowdown(ft.base_link_of(f)));
+  }
+  EXPECT_EQ(ft.link_slowdown(0), 3);
+}
+
+TEST(FaultedTopology, HealthySubtopologyIsCompactAndConsistent) {
+  const Topology topo = Topology::mesh(4, 4);
+  const FaultedTopology ft(topo, FaultSpec::parse("p0,p6,l10", topo));
+  const auto sub = ft.healthy_subtopology();
+  EXPECT_EQ(sub.topo.num_procs(),
+            static_cast<int>(ft.healthy_procs().size()));
+  EXPECT_EQ(static_cast<int>(sub.to_base_proc.size()),
+            sub.topo.num_procs());
+  // Every sub link joins the base images of its endpoints via an alive
+  // base link.
+  for (int l = 0; l < sub.topo.num_links(); ++l) {
+    const auto [u, v] = sub.topo.link_endpoints(l);
+    const int bu = sub.to_base_proc[static_cast<std::size_t>(u)];
+    const int bv = sub.to_base_proc[static_cast<std::size_t>(v)];
+    const auto base_link = topo.link_between(bu, bv);
+    ASSERT_TRUE(base_link.has_value());
+    EXPECT_TRUE(ft.link_alive(*base_link));
+    EXPECT_EQ(sub.to_base_link[static_cast<std::size_t>(l)], *base_link);
+  }
+  // Sub processors are exactly the healthy set.
+  std::set<int> sub_procs(sub.to_base_proc.begin(), sub.to_base_proc.end());
+  std::set<int> healthy(ft.healthy_procs().begin(),
+                        ft.healthy_procs().end());
+  EXPECT_EQ(sub_procs, healthy);
+}
+
+TEST(FaultedTopology, DeterministicAcrossConstructions) {
+  const Topology topo = Topology::mesh3d(3, 3, 3);
+  const FaultSpec spec =
+      FaultSpec::random_spec(topo, 4, 6, 3, 0xDEADBEEF);
+  const FaultedTopology a(topo, spec);
+  const FaultedTopology b(topo, spec);
+  EXPECT_EQ(a.healthy_procs(), b.healthy_procs());
+  EXPECT_EQ(a.faulted_link_factors(), b.faulted_link_factors());
+  EXPECT_EQ(a.spec().to_string(), b.spec().to_string());
+  EXPECT_EQ(a.faulted().num_links(), b.faulted().num_links());
+}
+
+TEST(FaultedTopology, ValidateRejectsOverlapAndBadFactors) {
+  const Topology topo = Topology::ring(4);
+  FaultSpec overlap;
+  overlap.dead_links = {1};
+  overlap.slow_links = {{1, 2}};
+  EXPECT_THROW(overlap.validate(topo), MappingError);
+  FaultSpec bad_factor;
+  bad_factor.slow_links = {{0, 0}};
+  EXPECT_THROW(bad_factor.validate(topo), MappingError);
+  FaultSpec out_of_range;
+  out_of_range.dead_procs = {99};
+  EXPECT_THROW(out_of_range.validate(topo), MappingError);
+}
+
+}  // namespace
+}  // namespace oregami

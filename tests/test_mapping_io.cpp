@@ -98,5 +98,119 @@ TEST(MappingIo, TruncatedFileDetected) {
       MappingError);
 }
 
+/// Extracts the message of the MappingError that `text` provokes;
+/// fails the test if parsing unexpectedly succeeds.
+std::string error_of(const std::string& text) {
+  try {
+    (void)mapping_from_string(text);
+  } catch (const MappingError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected MappingError for:\n" << text;
+  return {};
+}
+
+TEST(MappingIo, ErrorsCarryLineNumbers) {
+  // Bad header token: line 1.
+  EXPECT_NE(error_of("garbage").find("mapping file line 1:"),
+            std::string::npos);
+  // Bad version: still line 1.
+  EXPECT_NE(error_of("oregami-mapping v2\n").find("mapping file line 1:"),
+            std::string::npos);
+  // Negative task count on line 2.
+  EXPECT_NE(error_of("oregami-mapping v1\n"
+                     "tasks -3 clusters 1 procs 1 phases 0\n")
+                .find("mapping file line 2:"),
+            std::string::npos);
+  // Out-of-range contraction entry on line 3.
+  EXPECT_NE(error_of("oregami-mapping v1\n"
+                     "tasks 2 clusters 2 procs 2 phases 0\n"
+                     "contraction 0 9\n"
+                     "embedding 0 1\n")
+                .find("mapping file line 3:"),
+            std::string::npos);
+  // Route shape mismatch on line 6.
+  EXPECT_NE(error_of("oregami-mapping v1\n"
+                     "tasks 2 clusters 2 procs 2 phases 1\n"
+                     "contraction 0 1\n"
+                     "embedding 0 1\n"
+                     "phase 1\n"
+                     "route 2 0 1 0\n")
+                .find("mapping file line 6:"),
+            std::string::npos);
+}
+
+TEST(MappingIo, RejectsTrailingGarbageInNumbers) {
+  const auto message = error_of(
+      "oregami-mapping v1\n"
+      "tasks 2x clusters 2 procs 2 phases 0\n");
+  EXPECT_NE(message.find("mapping file line 2:"), std::string::npos);
+  EXPECT_NE(message.find("2x"), std::string::npos);
+}
+
+TEST(MappingIo, TruncationAtEveryTokenIsALocatedError) {
+  // Cutting the file after any token prefix must produce a located
+  // MappingError -- never a crash, hang, or silent success.
+  const Fixture f;
+  const auto text = mapping_to_string(f.report.mapping, 8);
+  int cuts = 0;
+  for (std::size_t pos = 0; pos + 1 < text.size();
+       pos = text.find_first_of(" \n", pos + 1)) {
+    if (pos == std::string::npos) {
+      break;
+    }
+    const auto truncated = text.substr(0, pos);
+    try {
+      (void)mapping_from_string(truncated);
+      // A prefix that happens to be self-consistent would be fine, but
+      // this format's counts make every strict prefix incomplete.
+      ADD_FAILURE() << "truncation at " << pos << " parsed";
+    } catch (const MappingError& e) {
+      EXPECT_NE(std::string(e.what()).find("mapping file line "),
+                std::string::npos)
+          << "unlocated error at cut " << pos << ": " << e.what();
+    }
+    ++cuts;
+  }
+  EXPECT_GT(cuts, 20);
+}
+
+TEST(MappingIo, RandomByteCorruptionNeverCrashes) {
+  // Flip / delete / insert bytes all over the serialised mapping; the
+  // reader must either round-trip-equal or throw MappingError.
+  const Fixture f;
+  const auto text = mapping_to_string(f.report.mapping, 8);
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = text;
+    const auto pos = next() % mutated.size();
+    switch (next() % 3) {
+      case 0:
+        mutated[pos] = static_cast<char>('!' + next() % 90);
+        break;
+      case 1:
+        mutated.erase(pos, 1 + next() % 5);
+        break;
+      default:
+        mutated.insert(pos, std::string(1, static_cast<char>(
+                                               '0' + next() % 10)));
+        break;
+    }
+    try {
+      (void)mapping_from_string(mutated);  // surviving mutations are fine
+    } catch (const MappingError& e) {
+      EXPECT_NE(std::string(e.what()).find("mapping file"),
+                std::string::npos);
+    }
+    // Anything else (std::bad_alloc, segfault, assert) fails the test.
+  }
+}
+
 }  // namespace
 }  // namespace oregami

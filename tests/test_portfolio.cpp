@@ -103,6 +103,45 @@ TEST(Portfolio, ContainsSingleShotCandidateAndScoresIt) {
   }
 }
 
+TEST(Portfolio, ExpiredDeadlineRunsExactlyCandidateZero) {
+  // A negative budget counts as already expired and never consults the
+  // clock, so the outcome is fully deterministic: candidate 0 (the
+  // exact single-shot pipeline) runs, everything else is skipped.
+  const auto entry = larcs::programs::catalog().front();
+  const auto c = compile_catalog(entry);
+  const Topology topo = Topology::hypercube(3);
+  PortfolioOptions popts;
+  popts.num_seeded = 6;
+  popts.time_budget_ms = -1;
+  const auto result = portfolio_map_program(c.ast, c.cp, topo, {}, popts);
+  ASSERT_FALSE(result.candidates.empty());
+  EXPECT_EQ(result.best_id, 0);
+  EXPECT_TRUE(result.candidates.front().ok);
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_FALSE(result.candidates[i].ok);
+    EXPECT_EQ(result.candidates[i].note, "skipped (deadline)");
+  }
+  // Best-so-far equals the single-shot mapping bit for bit.
+  const auto single = map_program(c.ast, c.cp, topo, {});
+  EXPECT_EQ(result.best.mapping.proc_of_task(),
+            single.mapping.proc_of_task());
+}
+
+TEST(Portfolio, GenerousDeadlineMatchesNoDeadline) {
+  const auto entry = larcs::programs::catalog().front();
+  const auto c = compile_catalog(entry);
+  const Topology topo = Topology::hypercube(3);
+  PortfolioOptions without;
+  without.num_seeded = 4;
+  PortfolioOptions with = without;
+  with.time_budget_ms = 60'000;  // far beyond the runtime of this search
+  const auto a = portfolio_map_program(c.ast, c.cp, topo, {}, without);
+  const auto b = portfolio_map_program(c.ast, c.cp, topo, {}, with);
+  EXPECT_EQ(a.best_id, b.best_id);
+  EXPECT_EQ(a.best.mapping.proc_of_task(), b.best.mapping.proc_of_task());
+  EXPECT_EQ(a.table(), b.table());
+}
+
 TEST(Portfolio, BestNeverWorseThanSingleShotOnWholeCatalog) {
   const Topology topo = Topology::hypercube(3);
   PortfolioOptions popts;

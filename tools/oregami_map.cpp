@@ -1,15 +1,26 @@
 // oregami_map -- command-line front end for the OREGAMI pipeline.
 //
-//   oregami_map --program nbody --bind n=15 --bind s=4 --bind m=8 \
+//   oregami_map --program nbody --bind n=15 --bind s=4 --bind m=8
 //               --topology hypercube:3 --ascii --links
-//   oregami_map --larcs samples/jacobi.larcs --bind n=8 --bind iters=10 \
+//   oregami_map --larcs samples/jacobi.larcs --bind n=8 --bind iters=10
 //               --topology mesh:4x4 --simulate --directives
+//   oregami_map --program wavefront --bind n=6 --topology mesh:4x4
+//               --inject-faults p5,s2:4 --repair
 //   oregami_map --list-programs
 //
 // Outputs the MAPPER strategy, the METRICS summary, and optionally the
 // assignment layout (--ascii), per-link tables (--links), Graphviz DOT
 // (--dot), the discrete-event simulation cross-check (--simulate) and
 // per-processor scheduling directives (--directives).
+//
+// Exit codes (stable; scripted callers rely on them):
+//   0  success
+//   1  internal error (a bug in oregami_map, not in the input)
+//   2  usage error (bad flags / missing required arguments)
+//   3  bad input (unreadable file, malformed LaRCS source, bad
+//      topology or fault spec, unknown program)
+//   4  mapping infeasible (the pipeline or repair could not produce a
+//      valid mapping for these inputs)
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -18,20 +29,29 @@
 #include <string>
 #include <vector>
 
+#include "oregami/arch/fault_model.hpp"
 #include "oregami/arch/topology_spec.hpp"
 #include "oregami/larcs/compiler.hpp"
 #include "oregami/larcs/parser.hpp"
 #include "oregami/larcs/programs.hpp"
 #include "oregami/mapper/driver.hpp"
 #include "oregami/mapper/portfolio.hpp"
+#include "oregami/mapper/repair.hpp"
 #include "oregami/metrics/metrics.hpp"
 #include "oregami/metrics/render.hpp"
 #include "oregami/schedule/synchrony.hpp"
 #include "oregami/sim/network_sim.hpp"
+#include "oregami/support/error.hpp"
 
 namespace {
 
 using namespace oregami;
+
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
+constexpr int kExitInfeasible = 4;
 
 struct Options {
   std::optional<std::string> larcs_file;
@@ -44,6 +64,10 @@ struct Options {
   bool links = false;
   bool simulate_flag = false;
   bool directives = false;
+  std::optional<std::string> fault_spec;
+  std::uint64_t fault_seed = 0;
+  bool repair = false;
+  std::int64_t time_budget_ms = 0;
   MapperOptions mapper;
 };
 
@@ -70,8 +94,18 @@ int usage(const char* argv0) {
       << "  --jobs J               portfolio worker threads (0 = all\n"
       << "                         cores); never changes the result\n"
       << "  --seed S               portfolio base seed\n"
-      << topology_spec_help() << "\n";
-  return 2;
+      << "  --time-budget MS       wall-clock deadline in milliseconds for\n"
+      << "                         portfolio search and repair (0 = none)\n"
+      << "  --inject-faults SPEC   degrade the machine before mapping;\n"
+      << "                         " << FaultSpec::grammar_help() << "\n"
+      << "  --fault-seed S         seed for rand:PxLxS fault tokens\n"
+      << "  --repair               map the healthy machine first, then\n"
+      << "                         repair the mapping onto the degraded\n"
+      << "                         one (prints both completions)\n"
+      << topology_spec_help() << "\n"
+      << "exit codes: 0 ok, 1 internal error, 2 usage, 3 bad input, "
+         "4 mapping infeasible\n";
+  return kExitUsage;
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -119,6 +153,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
       } else {
         return std::nullopt;
       }
+    } else if (arg == "--inject-faults") {
+      if (auto v = next()) {
+        options.fault_spec = *v;
+      } else {
+        return std::nullopt;
+      }
     } else if (arg == "--list-programs") {
       options.list_programs = true;
     } else if (arg == "--ascii") {
@@ -131,6 +171,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.simulate_flag = true;
     } else if (arg == "--directives") {
       options.directives = true;
+    } else if (arg == "--repair") {
+      options.repair = true;
     } else if (arg == "--no-canned") {
       options.mapper.allow_canned = false;
     } else if (arg == "--no-group") {
@@ -139,7 +181,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.mapper.allow_systolic = false;
     } else if (arg == "--refine-placement") {
       options.mapper.refine_placement = true;
-    } else if (arg == "--portfolio" || arg == "--jobs" || arg == "--seed") {
+    } else if (arg == "--portfolio" || arg == "--jobs" || arg == "--seed" ||
+               arg == "--fault-seed" || arg == "--time-budget") {
       const auto v = next();
       if (!v) {
         return std::nullopt;
@@ -149,8 +192,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
           options.mapper.portfolio = std::stoi(*v);
         } else if (arg == "--jobs") {
           options.mapper.jobs = std::stoi(*v);
-        } else {
+        } else if (arg == "--seed") {
           options.mapper.portfolio_seed = std::stoull(*v);
+        } else if (arg == "--fault-seed") {
+          options.fault_seed = std::stoull(*v);
+        } else {
+          options.time_budget_ms = std::stoll(*v);
         }
       } catch (const std::exception&) {
         std::cerr << "bad " << arg << " value '" << *v << "'\n";
@@ -164,6 +211,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
         std::cerr << "--jobs expects J >= 0 (0 = all cores)\n";
         return std::nullopt;
       }
+      if (arg == "--time-budget" && options.time_budget_ms < 0) {
+        std::cerr << "--time-budget expects MS >= 0 (0 = none)\n";
+        return std::nullopt;
+      }
     } else {
       std::cerr << "unknown option '" << arg << "'\n";
       return std::nullopt;
@@ -172,87 +223,88 @@ std::optional<Options> parse_args(int argc, char** argv) {
   return options;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto parsed = parse_args(argc, argv);
-  if (!parsed) {
-    return usage(argv[0]);
-  }
-  const Options& options = *parsed;
-
-  if (options.list_programs) {
-    for (const auto& entry : larcs::programs::catalog()) {
-      std::string binds;
-      for (const auto& [name, value] : entry.example_bindings) {
-        binds += " --bind " + name + "=" + std::to_string(value);
-      }
-      std::cout << entry.name << binds << "\n";
-    }
-    return 0;
-  }
-  if ((!options.larcs_file && !options.program_name) ||
-      !options.topology_spec) {
-    return usage(argv[0]);
-  }
-
+/// Maps, measures, and prints. Only MappingError (= the pipeline could
+/// not produce a mapping for these inputs) escapes classification here.
+int map_and_report(const Options& options, const larcs::Program& ast,
+                   const larcs::CompiledProgram& compiled,
+                   const Topology& topo,
+                   const std::optional<FaultedTopology>& faulted) {
   try {
-    // Source.
-    std::string source;
-    if (options.larcs_file) {
-      std::ifstream in(*options.larcs_file);
-      if (!in) {
-        std::cerr << "cannot open '" << *options.larcs_file << "'\n";
-        return 1;
-      }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      source = buffer.str();
-    } else {
-      bool found = false;
-      for (const auto& entry : larcs::programs::catalog()) {
-        if (entry.name == *options.program_name) {
-          source = entry.source;
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        std::cerr << "unknown program '" << *options.program_name
-                  << "' (see --list-programs)\n";
-        return 1;
-      }
+    MapperOptions mapper = options.mapper;
+    // Degraded-mode mapping (no --repair): run the pipeline directly
+    // on the healthy sub-machine.
+    if (faulted && !options.repair) {
+      mapper.faults = &*faulted;
     }
 
-    // Compile, map, measure.
-    const auto ast = larcs::parse_program(source);
-    const auto compiled = larcs::compile(ast, options.bindings);
-    const Topology topo = parse_topology_spec(*options.topology_spec);
     MapperReport report;
     std::string portfolio_table;
-    if (options.mapper.portfolio > 0) {
-      const PortfolioReport pf = portfolio_map_program(
-          ast, compiled, topo, options.mapper,
-          portfolio_options_from(options.mapper));
+    if (mapper.portfolio > 0 && mapper.faults == nullptr) {
+      PortfolioOptions popts = portfolio_options_from(mapper);
+      popts.time_budget_ms = options.time_budget_ms;
+      const PortfolioReport pf =
+          portfolio_map_program(ast, compiled, topo, mapper, popts);
       portfolio_table = pf.table();
       report = pf.best;
     } else {
-      report = map_program(ast, compiled, topo, options.mapper);
+      report = map_program(ast, compiled, topo, mapper);
     }
     const auto& graph = compiled.graph;
-    const auto procs = report.mapping.proc_of_task();
-    const auto metrics = compute_metrics(graph, report.mapping, topo);
 
     std::cout << "algorithm: " << ast.name << "  (" << graph.num_tasks()
               << " tasks, " << graph.num_comm_edges() << " comm edges)\n"
               << "network:   " << topo.name() << "  (" << topo.num_procs()
-              << " processors, " << topo.num_links() << " links)\n"
-              << "strategy:  " << to_string(report.strategy) << "\n"
+              << " processors, " << topo.num_links() << " links)\n";
+    if (faulted) {
+      std::cout << "faults:    " << faulted->spec().to_string() << "  ("
+                << faulted->healthy_procs().size() << "/"
+                << topo.num_procs() << " processors healthy, "
+                << faulted->num_alive_links() << "/" << topo.num_links()
+                << " links alive)\n";
+    }
+    std::cout << "strategy:  " << to_string(report.strategy) << "\n"
               << "           " << report.details << "\n\n";
     if (!portfolio_table.empty()) {
       std::cout << "portfolio candidates:\n" << portfolio_table << "\n";
     }
+
+    // Repair path: the mapping above is the healthy one; repair it onto
+    // the degraded machine and print both completions side by side.
+    if (faulted && options.repair) {
+      RepairOptions ropts;
+      ropts.time_budget_ms = options.time_budget_ms;
+      ropts.seed = options.mapper.portfolio_seed;
+      ropts.model = {};
+      ropts.remap_options = options.mapper;
+      ropts.remap_options.faults = nullptr;
+      const RepairResult repaired =
+          repair_mapping(graph, *faulted, report.mapping, ropts);
+      std::cout << "repair:    rung " << to_string(repaired.rung) << "; "
+                << repaired.details << "\n"
+                << "           healthy completion:  "
+                << repaired.healthy_completion << "\n"
+                << "           degraded completion: "
+                << repaired.degraded_completion << "\n";
+      for (const RepairMove& move : repaired.migrations) {
+        std::cout << "           task " << move.task << ": proc "
+                  << move.from_proc << " -> " << move.to_proc << "\n";
+      }
+      std::cout << "\n";
+      report.mapping = repaired.mapping;
+    }
+
+    // In repair mode these metrics describe the repaired mapping (the
+    // degraded-completion line above charges the slow links on top).
+    const auto metrics = compute_metrics(graph, report.mapping, topo);
+    const auto procs = report.mapping.proc_of_task();
     std::cout << render_summary(metrics) << "\n";
+    if (faulted && !options.repair) {
+      std::cout << "degraded completion (slow links charged): "
+                << degraded_completion_time(graph, procs,
+                                            report.mapping.routing,
+                                            *faulted)
+                << "\n\n";
+    }
 
     if (options.ascii) {
       std::cout << "placement:\n"
@@ -262,8 +314,12 @@ int main(int argc, char** argv) {
       std::cout << render_link_table(metrics, topo) << "\n";
     }
     if (options.simulate_flag) {
-      const SimResult sim =
-          simulate(graph, procs, report.mapping.routing, topo);
+      SimConfig sim_config;
+      if (faulted) {
+        sim_config.faults = &*faulted;
+      }
+      const SimResult sim = simulate(graph, procs, report.mapping.routing,
+                                     topo, sim_config);
       std::cout << "discrete-event simulation: " << sim.total_cycles
                 << " cycles (analytic model: " << metrics.completion
                 << ")\n\n";
@@ -281,9 +337,99 @@ int main(int argc, char** argv) {
     if (options.dot) {
       std::cout << render_task_graph_dot(graph);
     }
-    return 0;
-  } catch (const std::exception& e) {
+    return kExitOk;
+  } catch (const MappingError& e) {
+    std::cerr << "error: mapping infeasible: " << e.what() << "\n";
+    return kExitInfeasible;
+  }
+}
+
+int run(const Options& options) {
+  // Input stage: everything that can fail here is the user's input, not
+  // the pipeline -- unreadable files, unknown programs, malformed LaRCS
+  // source, bad topology/fault specs.
+  std::string source;
+  if (options.larcs_file) {
+    std::ifstream in(*options.larcs_file);
+    if (!in) {
+      std::cerr << "error: cannot open '" << *options.larcs_file << "'\n";
+      return kExitBadInput;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  } else {
+    bool found = false;
+    for (const auto& entry : larcs::programs::catalog()) {
+      if (entry.name == *options.program_name) {
+        source = entry.source;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "error: unknown program '" << *options.program_name
+                << "' (see --list-programs)\n";
+      return kExitBadInput;
+    }
+  }
+
+  try {
+    const auto ast = larcs::parse_program(source);
+    const auto compiled = larcs::compile(ast, options.bindings);
+    const Topology topo = parse_topology_spec(*options.topology_spec);
+    std::optional<FaultedTopology> faulted;
+    if (options.fault_spec) {
+      faulted.emplace(topo, FaultSpec::parse(*options.fault_spec, topo,
+                                             options.fault_seed));
+    }
+    return map_and_report(options, ast, compiled, topo, faulted);
+  } catch (const LarcsError& e) {
+    std::cerr << "error: " << e.loc().to_string() << ": " << e.what()
+              << "\n";
+    return kExitBadInput;
+  } catch (const MappingError& e) {
+    // Reaching here means a bad topology or fault spec (the mapping
+    // stage classifies its own MappingErrors as exit code 4).
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitBadInput;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto parsed = parse_args(argc, argv);
+    if (!parsed) {
+      return usage(argv[0]);
+    }
+    const Options& options = *parsed;
+
+    if (options.list_programs) {
+      for (const auto& entry : larcs::programs::catalog()) {
+        std::string binds;
+        for (const auto& [name, value] : entry.example_bindings) {
+          binds += " --bind " + name + "=" + std::to_string(value);
+        }
+        std::cout << entry.name << binds << "\n";
+      }
+      return kExitOk;
+    }
+    if ((!options.larcs_file && !options.program_name) ||
+        !options.topology_spec) {
+      return usage(argv[0]);
+    }
+    if (options.repair && !options.fault_spec) {
+      std::cerr << "--repair requires --inject-faults\n";
+      return usage(argv[0]);
+    }
+    return run(options);
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInternal;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return kExitInternal;
   }
 }
