@@ -321,6 +321,12 @@ void print_figures_and_json() {
   json.add("refine_sweep_incremental", inc_s * 1e3, "ms");
   json.add("refine_sweep_full", full_s * 1e3, "ms");
   json.add("refine_sweep_speedup", refine_speedup, "x");
+  // Workload shape snapshot: per-phase tracker state of the mapping the
+  // sweep probes, so perf diffs can tell a slower code path from a
+  // changed workload.
+  json.add_phase_counters(
+      "refine_sweep", w.graph,
+      IncrementalCompletion(w.graph, w.topo, w.procs, w.routing));
 
   bench::print_header("NN-Embed end to end (oracle consumer)");
   const Graph cluster = bench::random_task_graph(256, 0.05, 0xC0FFEEULL)

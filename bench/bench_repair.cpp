@@ -109,8 +109,16 @@ void print_figure() {
              static_cast<double>(fast.degraded_completion) /
                  static_cast<double>(remap.degraded_completion),
              "x");
+    json.add_counter(tag + "/migrations",
+                     static_cast<std::int64_t>(fast.migrations.size()));
+    json.add_counter(tag + "/attempts", fast.attempts);
     ++scenario;
   }
+  // Per-phase tracker snapshot of the healthy mapping every scenario
+  // starts from (the repair workload's shape, not a timing).
+  json.add_phase_counters(
+      "healthy", graph,
+      IncrementalCompletion(graph, topo, healthy.mapping));
   std::fputs(table.to_string().c_str(), stdout);
   std::printf(
       "(in-place repair touches only displaced tasks; full remap reruns "

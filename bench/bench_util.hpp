@@ -10,6 +10,7 @@
 
 #include "oregami/core/mapping.hpp"
 #include "oregami/core/task_graph.hpp"
+#include "oregami/metrics/incremental.hpp"
 #include "oregami/support/rng.hpp"
 
 namespace oregami::bench {
@@ -92,7 +93,35 @@ class JsonReport {
     entries_.push_back({name, value, unit});
   }
 
-  /// Writes {"benchmarks": [{"name":..., "value":..., "unit":...}]}.
+  /// Structural (non-timing) counter: exact integer, no unit. These
+  /// land in a separate "counters" array so perf diffs can separate
+  /// "the code got slower" from "the workload changed shape".
+  void add_counter(const std::string& name, std::int64_t value) {
+    counters_.push_back({name, value});
+  }
+
+  /// Embeds the per-phase tracker snapshot of a scored mapping: each
+  /// comm phase contributes max_link_volume / total_volume /
+  /// used_links / max_hops, each exec phase max_load, all prefixed
+  /// with "<scope>/<phase>/". Deterministic for a fixed mapping.
+  void add_phase_counters(const std::string& scope, const TaskGraph& graph,
+                          const IncrementalCompletion& inc) {
+    for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+      const CommPhaseSnapshot snap = inc.comm_snapshot(static_cast<int>(k));
+      const std::string p = scope + "/" + graph.comm_phases()[k].name;
+      add_counter(p + "/max_link_volume", snap.max_volume);
+      add_counter(p + "/total_volume", snap.total_volume);
+      add_counter(p + "/used_links", snap.used_links);
+      add_counter(p + "/max_hops", snap.max_hops);
+    }
+    for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
+      add_counter(scope + "/" + graph.exec_phases()[k].name + "/max_load",
+                  inc.exec_max_load(static_cast<int>(k)));
+    }
+  }
+
+  /// Writes {"benchmarks": [{"name":..., "value":..., "unit":...}],
+  ///         "counters": [{"name":..., "value":...}]}.
   /// Returns false (and prints to stderr) when the file cannot be
   /// opened; benches still exit 0 so smoke runs never fail on fs state.
   bool write() const {
@@ -110,9 +139,17 @@ class JsonReport {
                    e.name.c_str(), e.value, e.unit.c_str(),
                    i + 1 < entries_.size() ? "," : "");
     }
+    std::fprintf(out, "  ],\n  \"counters\": [\n");
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      const auto& c = counters_[i];
+      std::fprintf(out, "    {\"name\": \"%s\", \"value\": %lld}%s\n",
+                   c.name.c_str(), static_cast<long long>(c.value),
+                   i + 1 < counters_.size() ? "," : "");
+    }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
-    std::printf("wrote %s (%zu entries)\n", path_.c_str(), entries_.size());
+    std::printf("wrote %s (%zu entries, %zu counters)\n", path_.c_str(),
+                entries_.size(), counters_.size());
     return true;
   }
 
@@ -122,8 +159,13 @@ class JsonReport {
     double value = 0.0;
     std::string unit;
   };
+  struct Counter {
+    std::string name;
+    std::int64_t value = 0;
+  };
   std::string path_;
   std::vector<Entry> entries_;
+  std::vector<Counter> counters_;
 };
 
 }  // namespace oregami::bench

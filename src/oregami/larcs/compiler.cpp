@@ -4,6 +4,7 @@
 
 #include "oregami/larcs/parser.hpp"
 #include "oregami/larcs/phase_expr.hpp"
+#include "oregami/support/trace.hpp"
 
 namespace oregami::larcs {
 
@@ -80,6 +81,7 @@ void for_each_tuple(const std::vector<long>& lo, const std::vector<long>& hi,
 CompiledProgram compile(const Program& program,
                         const std::map<std::string, long>& bindings,
                         const CompileOptions& options) {
+  const trace::Span span("compile");
   CompiledProgram out;
   out.family_hint = program.family_hint;
 
@@ -250,6 +252,8 @@ CompiledProgram compile(const Program& program,
 
   out.env = std::move(env);
   out.graph.validate();
+  trace::counter("tasks", out.graph.num_tasks());
+  trace::counter("comm_edges", out.graph.num_comm_edges());
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <unordered_map>
 
+#include "oregami/support/trace.hpp"
+
 namespace oregami::larcs {
 
 namespace {
@@ -34,6 +36,7 @@ const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
 }  // namespace
 
 std::vector<Token> lex(std::string_view source) {
+  const trace::Span span("lex");
   std::vector<Token> tokens;
   std::size_t i = 0;
   int line = 1;
@@ -143,6 +146,7 @@ std::vector<Token> lex(std::string_view source) {
   }
 
   tokens.push_back({TokenKind::EndOfFile, "", 0, {line, column}});
+  trace::counter("tokens", static_cast<std::int64_t>(tokens.size()));
   return tokens;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "oregami/larcs/lexer.hpp"
+#include "oregami/support/trace.hpp"
 
 namespace oregami::larcs {
 
@@ -634,6 +635,7 @@ class Parser {
 }  // namespace
 
 Program parse_program(std::string_view source) {
+  const trace::Span span("parse");
   return Parser(lex(source)).parse();
 }
 

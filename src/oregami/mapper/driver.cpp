@@ -12,6 +12,7 @@
 #include "oregami/mapper/refine.hpp"
 #include "oregami/mapper/systolic.hpp"
 #include "oregami/support/error.hpp"
+#include "oregami/support/trace.hpp"
 
 namespace oregami {
 
@@ -129,9 +130,13 @@ MapperReport finish(MapStrategy strategy, std::string details,
   report.details = std::move(details);
   report.mapping.contraction = std::move(contraction);
   report.mapping.embedding = std::move(embedding);
-  report.mapping.routing = mm_route(
-      graph, report.mapping.proc_of_task(), topo, options.routing);
+  {
+    const trace::Span span("route");
+    report.mapping.routing = mm_route(
+        graph, report.mapping.proc_of_task(), topo, options.routing);
+  }
   if (options.refine_placement) {
+    const trace::Span span("refine_placement");
     // Never loosen the load balance the strategy achieved: bound moves
     // by the explicit B when given, else the current largest cluster.
     const int bound = options.load_bound_B > 0
@@ -140,6 +145,8 @@ MapperReport finish(MapStrategy strategy, std::string details,
     PlacementRefineResult refined = refine_placement(
         graph, topo, report.mapping.proc_of_task(),
         report.mapping.routing, /*model=*/{}, bound);
+    trace::counter("moves", refined.moves);
+    trace::counter("improvement", refined.improvement());
     if (refined.moves > 0) {
       report.details += "; placement refinement -" +
                         std::to_string(refined.improvement()) +
@@ -160,10 +167,13 @@ std::optional<MapperReport> try_canned(const TaskGraph& graph,
                                        const MapperOptions& options,
                                        const RecognizedFamily& family) {
   if (family.family == GraphFamily::Unknown) {
+    trace::instant("canned_rejected");
     return std::nullopt;
   }
+  const trace::Span span("canned");
   auto canned = canned_mapping(family, topo);
   if (!canned) {
+    trace::instant("no_canned_entry");
     return std::nullopt;
   }
   return finish(MapStrategy::Canned,
@@ -179,10 +189,13 @@ std::optional<MapperReport> try_group(const TaskGraph& graph,
   const int n = graph.num_tasks();
   const int p = topo.num_procs();
   if (n < p || n % p != 0) {
+    trace::instant("group_rejected");
     return std::nullopt;
   }
+  const trace::Span span("group_contract");
   auto outcome = group_theoretic_contraction(graph, p);
   if (outcome.status != GroupContractStatus::Ok) {
+    trace::instant("group_inadmissible");
     return std::nullopt;
   }
   std::string how;
@@ -198,21 +211,32 @@ MapperReport do_general(const TaskGraph& graph, const Topology& topo,
                         const MapperOptions& options,
                         std::uint64_t nn_seed = 0) {
   const Graph aggregate = graph.aggregate_graph();
-  MwmContractResult contract =
-      mwm_contract(aggregate, topo.num_procs(), options.load_bound_B);
-  std::string description = contract.description;
-  Contraction contraction = std::move(contract.contraction);
-  if (options.refine) {
-    RefineResult refined =
-        refine_contraction(aggregate, std::move(contraction),
-                           contract.load_bound);
-    description += "; KL refinement -" +
-                   std::to_string(refined.improvement()) + " IPC";
-    contraction = std::move(refined.contraction);
+  Contraction contraction;
+  std::string description;
+  {
+    const trace::Span span("contract");
+    MwmContractResult contract =
+        mwm_contract(aggregate, topo.num_procs(), options.load_bound_B);
+    description = std::move(contract.description);
+    contraction = std::move(contract.contraction);
+    trace::counter("clusters", contraction.num_clusters);
+    if (options.refine) {
+      const trace::Span refine_span("kl_refine");
+      RefineResult refined =
+          refine_contraction(aggregate, std::move(contraction),
+                             contract.load_bound);
+      description += "; KL refinement -" +
+                     std::to_string(refined.improvement()) + " IPC";
+      trace::counter("ipc_improvement", refined.improvement());
+      contraction = std::move(refined.contraction);
+    }
   }
   std::string how;
-  Embedding embedding =
-      embed_clusters(graph, contraction, topo, &how, nn_seed);
+  Embedding embedding;
+  {
+    const trace::Span span("embed");
+    embedding = embed_clusters(graph, contraction, topo, &how, nn_seed);
+  }
   return finish(MapStrategy::General, description + "; " + how,
                 std::move(contraction), std::move(embedding), graph, topo,
                 options);
@@ -249,10 +273,13 @@ std::optional<MapperReport> try_systolic(
       topo.family() != TopoFamily::Torus &&
       topo.family() != TopoFamily::Chain &&
       topo.family() != TopoFamily::Ring) {
+    trace::instant("systolic_rejected");
     return std::nullopt;
   }
+  const trace::Span span("systolic");
   auto systolic = systolic_map(program, compiled);
   if (!systolic || systolic->contraction.num_clusters > topo.num_procs()) {
+    trace::instant("systolic_inadmissible");
     return std::nullopt;
   }
   std::string how;
@@ -292,6 +319,7 @@ MapperReport map_degraded(const TaskGraph& graph,
         "cannot map onto the faulted topology: no healthy processors "
         "remain (spec: " + faults.spec().to_string() + ")");
   }
+  const trace::Span span("degraded_map");
   const FaultedTopology::HealthySub sub = faults.healthy_subtopology();
   options.faults = nullptr;
   MapperReport report =
@@ -323,6 +351,7 @@ MapperReport map_computation(const TaskGraph& graph, const Topology& topo,
                                      portfolio_options_from(options))
         .best;
   }
+  const trace::Span span("map");
   if (options.allow_canned) {
     const RecognizedFamily family =
         recognize_family(graph.aggregate_graph());

@@ -1,8 +1,10 @@
 #include "oregami/mapper/portfolio.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <future>
+#include <sstream>
 #include <tuple>
 #include <utility>
 
@@ -10,6 +12,7 @@
 #include "oregami/support/rng.hpp"
 #include "oregami/support/text_table.hpp"
 #include "oregami/support/thread_pool.hpp"
+#include "oregami/support/trace.hpp"
 
 namespace oregami {
 
@@ -92,21 +95,73 @@ void add_seeded_variants(std::vector<CandidateSpec>* specs,
   }
 }
 
+/// Deterministic explanation of how the (completion, IPC, id) minimum
+/// was decided, recorded on the report for --explain.
+void record_win_reason(PortfolioReport* report) {
+  const auto& winner =
+      report->candidates[static_cast<std::size_t>(report->best_id)];
+  int completion_ties = 0;
+  int exact_ties = 0;
+  std::int64_t runner_up_completion = -1;
+  std::int64_t runner_up_ipc = -1;
+  for (const auto& c : report->candidates) {
+    if (!c.ok || c.id == winner.id) {
+      continue;
+    }
+    if (c.completion == winner.completion) {
+      ++completion_ties;
+      if (c.external_ipc == winner.external_ipc) {
+        ++exact_ties;
+      } else if (runner_up_ipc < 0 || c.external_ipc < runner_up_ipc) {
+        runner_up_ipc = c.external_ipc;
+      }
+    } else if (runner_up_completion < 0 ||
+               c.completion < runner_up_completion) {
+      runner_up_completion = c.completion;
+    }
+  }
+  std::ostringstream why;
+  if (completion_ties == 0) {
+    report->tie_level = 1;
+    why << "strictly best completion (" << winner.completion;
+    if (runner_up_completion >= 0) {
+      why << " vs " << runner_up_completion << " for the runner-up";
+    }
+    why << "); tie-break level 1 (completion)";
+  } else if (exact_ties == 0) {
+    report->tie_level = 2;
+    why << "tied completion (" << winner.completion << ") with "
+        << completion_ties << " candidate(s); best external IPC ("
+        << winner.external_ipc;
+    if (runner_up_ipc >= 0) {
+      why << " vs " << runner_up_ipc;
+    }
+    why << "); tie-break level 2 (external IPC)";
+  } else {
+    report->tie_level = 3;
+    why << "exact (completion, external IPC) tie with " << exact_ties
+        << " candidate(s); lowest candidate id wins; tie-break level 3 "
+           "(candidate id)";
+  }
+  report->win_reason = why.str();
+}
+
 PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
                               const PortfolioOptions& options,
                               std::vector<CandidateSpec> specs) {
+  const trace::Span portfolio_span("portfolio");
+  const auto search_start = std::chrono::steady_clock::now();
   // Shared read-only state really is read-only under the pool: regular
   // families answer distance queries with closed-form oracles, and the
   // Custom family's lazy BFS table is published under std::call_once,
   // so no pre-warm is needed before fanning out.
-  ThreadPool pool(options.jobs);
+  ThreadPool pool(options.jobs, "portfolio");
   // Deadline support: non-positive budgets never consult the clock
   // (0 = none, < 0 = already expired), keeping those modes
   // bit-deterministic. Candidate 0 is exempt so a result always exists.
   const std::int64_t budget = options.time_budget_ms;
   const auto deadline_at =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(budget > 0 ? budget : 0);
+      search_start + std::chrono::milliseconds(budget > 0 ? budget : 0);
   const auto deadline_passed = [budget, deadline_at] {
     if (budget == 0) {
       return false;
@@ -121,12 +176,28 @@ PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
   for (std::size_t i = 0; i < specs.size(); ++i) {
     futures.push_back(pool.submit(
         [spec = std::move(specs[i]), id = static_cast<int>(i),
-         deadline_passed] {
+         deadline_passed, search_start] {
+          // Every candidate's events land under the same deterministic
+          // lane path no matter which worker (or the sole jobs=1
+          // worker) picked the task up.
+          const trace::LaneScope lane(
+              trace::enabled() ? "portfolio/cand#" + std::to_string(id)
+                               : std::string(),
+              id + 1);
           PortfolioCandidate candidate;
           candidate.id = id;
           candidate.label = spec.label;
+          const auto t0 = std::chrono::steady_clock::now();
           if (id != 0 && deadline_passed()) {
             candidate.note = "skipped (deadline)";
+            candidate.skipped = true;
+            // Not "how long the candidate ran" (it never did) but when
+            // the deadline cut it off, so the timed table can show a
+            // timing for skipped candidates too.
+            candidate.wall_ms =
+                std::chrono::duration<double, std::milli>(t0 - search_start)
+                    .count();
+            trace::instant("skipped_deadline");
             return candidate;
           }
           try {
@@ -137,10 +208,15 @@ PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
               candidate.mapping = std::move(report->mapping);
             } else {
               candidate.note = "not admissible";
+              trace::instant("not_admissible");
             }
           } catch (const MappingError& e) {
             candidate.note = std::string("infeasible: ") + e.what();
+            trace::instant("infeasible");
           }
+          candidate.wall_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
           return candidate;
         }));
   }
@@ -151,8 +227,19 @@ PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
     report.candidates.push_back(future.get());  // rethrows non-mapping errors
   }
 
+  // Phase identity for the provenance report.
+  report.comm_phase_mult = graph.comm_phase_multiplicity();
+  report.exec_phase_mult = graph.exec_phase_multiplicity();
+  for (const auto& phase : graph.comm_phases()) {
+    report.comm_phase_names.push_back(phase.name);
+  }
+  for (const auto& phase : graph.exec_phases()) {
+    report.exec_phase_names.push_back(phase.name);
+  }
+
   // Score sequentially (cheap relative to mapping) and select the
   // winner by (completion, external IPC, id) -- never completion order.
+  const trace::Span score_span("score");
   for (auto& candidate : report.candidates) {
     if (!candidate.ok) {
       continue;
@@ -161,6 +248,25 @@ PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
     candidate.completion = completion_time(
         graph, procs, candidate.mapping.routing, topo, options.model);
     candidate.external_ipc = external_ipc_of(graph, procs);
+    // Per-phase decomposition of the modelled score (what --explain
+    // prints; the sum re-composed through the phase expression is the
+    // completion above).
+    candidate.comm_cost.reserve(graph.comm_phases().size());
+    for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+      candidate.comm_cost.push_back(comm_phase_time(
+          graph, static_cast<int>(k),
+          candidate.mapping.routing[k], topo, options.model));
+    }
+    candidate.exec_cost.reserve(graph.exec_phases().size());
+    for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
+      candidate.exec_cost.push_back(exec_phase_time(
+          graph, static_cast<int>(k), procs, topo.num_procs()));
+    }
+    if (trace::enabled()) {
+      const std::string prefix = "cand#" + std::to_string(candidate.id);
+      trace::counter(prefix + "/completion", candidate.completion);
+      trace::counter(prefix + "/external_ipc", candidate.external_ipc);
+    }
     const bool better =
         report.best_id < 0 ||
         std::tie(candidate.completion, candidate.external_ipc) <
@@ -177,6 +283,7 @@ PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
   if (report.best_id < 0) {
     throw MappingError("portfolio: no feasible candidate");
   }
+  record_win_reason(&report);
 
   const auto& winner =
       report.candidates[static_cast<std::size_t>(report.best_id)];
@@ -185,7 +292,21 @@ PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
                         std::to_string(report.candidates.size()) +
                         " candidates; " + winner.note;
   report.best.mapping = winner.mapping;
+  report.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - search_start)
+                          .count();
+  if (trace::enabled()) {
+    trace::counter("winner_id", report.best_id);
+    trace::counter("tie_level", report.tie_level);
+    trace::instant("winner", report.win_reason);
+  }
   return report;
+}
+
+std::string format_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
 }
 
 }  // namespace
@@ -201,6 +322,59 @@ std::string PortfolioReport::table() const {
                c.id == best_id ? "** best **" : (c.ok ? "ok" : c.note)});
   }
   return t.to_string();
+}
+
+std::string PortfolioReport::timed_table() const {
+  TextTable t({"id", "candidate", "strategy", "completion", "ext-IPC",
+               "wall-ms", "status"});
+  for (const auto& c : candidates) {
+    std::string status =
+        c.id == best_id ? "** best **" : (c.ok ? "ok" : c.note);
+    if (c.skipped) {
+      status = "skipped (deadline @ " + format_ms(c.wall_ms) + "ms)";
+    }
+    t.add_row({std::to_string(c.id), c.label,
+               c.ok ? to_string(c.strategy) : "-",
+               c.ok ? std::to_string(c.completion) : "-",
+               c.ok ? std::to_string(c.external_ipc) : "-",
+               format_ms(c.wall_ms), status});
+  }
+  return t.to_string();
+}
+
+std::string PortfolioReport::explain(bool with_timing) const {
+  OREGAMI_ASSERT(best_id >= 0, "explain() requires a scored report");
+  const auto& w = candidates[static_cast<std::size_t>(best_id)];
+  std::ostringstream out;
+  out << "decision provenance: portfolio of " << candidates.size()
+      << " candidates\n";
+  out << "winner: candidate " << w.id << " '" << w.label << "' ("
+      << to_string(w.strategy) << ")\n";
+  out << "reason: " << win_reason << "\n";
+  out << "modelled completion: " << w.completion
+      << "  external IPC: " << w.external_ipc << "\n";
+  out << "per-phase cost breakdown (winner, time = modelled phase cost,\n"
+         "mult = phase-expression multiplicity):\n";
+  TextTable t({"phase", "kind", "mult", "time", "mult*time"});
+  for (std::size_t k = 0; k < comm_phase_names.size(); ++k) {
+    const std::int64_t time = k < w.comm_cost.size() ? w.comm_cost[k] : 0;
+    const auto mult = static_cast<std::int64_t>(comm_phase_mult[k]);
+    t.add_row({comm_phase_names[k], "comm", std::to_string(mult),
+               std::to_string(time), std::to_string(mult * time)});
+  }
+  for (std::size_t k = 0; k < exec_phase_names.size(); ++k) {
+    const std::int64_t time = k < w.exec_cost.size() ? w.exec_cost[k] : 0;
+    const auto mult = static_cast<std::int64_t>(exec_phase_mult[k]);
+    t.add_row({exec_phase_names[k], "exec", std::to_string(mult),
+               std::to_string(time), std::to_string(mult * time)});
+  }
+  out << t.to_string();
+  out << "candidate table:\n" << (with_timing ? timed_table() : table());
+  if (with_timing) {
+    out << "portfolio search wall time: " << format_ms(elapsed_ms)
+        << " ms\n";
+  }
+  return out.str();
 }
 
 PortfolioReport portfolio_map_computation(const TaskGraph& graph,

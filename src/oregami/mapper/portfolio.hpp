@@ -66,21 +66,57 @@ struct PortfolioCandidate {
   int id = 0;
   std::string label;     ///< e.g. "general B=5 refine nn-seed"
   bool ok = false;       ///< produced a valid mapping
+  bool skipped = false;  ///< deadline skipped the candidate entirely
   std::string note;      ///< strategy details, or why it failed
   MapStrategy strategy = MapStrategy::General;
   std::int64_t completion = 0;    ///< modelled completion time
   std::int64_t external_ipc = 0;  ///< multiplicity-weighted cross-proc volume
   Mapping mapping;                ///< empty when !ok
+  /// Wall-clock time the candidate's task spent running (or, for a
+  /// skipped candidate, the elapsed search time at the moment the
+  /// deadline skipped it). Timing-only: never part of table() or any
+  /// determinism contract.
+  double wall_ms = 0.0;
+  /// Modelled per-phase decomposition of `completion` (index-aligned
+  /// with the task graph's comm/exec phases); empty when !ok. Feeds
+  /// the --explain provenance report.
+  std::vector<std::int64_t> comm_cost;
+  std::vector<std::int64_t> exec_cost;
 };
 
 struct PortfolioReport {
   MapperReport best;  ///< winning candidate as a regular MapperReport
   int best_id = -1;
   std::vector<PortfolioCandidate> candidates;  ///< in candidate-id order
+  /// Why the winner won: 1 = strictly best completion, 2 = tied
+  /// completion broken by external IPC, 3 = exact (completion, IPC)
+  /// tie broken by lowest candidate id.
+  int tie_level = 1;
+  /// Human-readable version of the above (deterministic).
+  std::string win_reason;
+  /// Phase names + multiplicities captured from the task graph so the
+  /// provenance report is self-contained.
+  std::vector<std::string> comm_phase_names;
+  std::vector<std::string> exec_phase_names;
+  std::vector<long> comm_phase_mult;
+  std::vector<long> exec_phase_mult;
+  /// Wall-clock duration of the whole search (timing-only).
+  double elapsed_ms = 0.0;
 
   /// Fixed-width per-candidate report table (deterministic; contains
   /// no timing or worker-count information).
   [[nodiscard]] std::string table() const;
+
+  /// table() plus per-candidate wall-time columns; skipped candidates
+  /// show the elapsed search time at which the deadline cut them off
+  /// instead of no timing at all. NOT deterministic (wall clock); the
+  /// CLI prints this one, tests pin table().
+  [[nodiscard]] std::string timed_table() const;
+
+  /// Decision-provenance report: the candidate table, the winning
+  /// candidate's per-phase cost breakdown, and the reason it won
+  /// (tie-break level included). Deterministic unless `with_timing`.
+  [[nodiscard]] std::string explain(bool with_timing = false) const;
 };
 
 /// Portfolio search over a bare task graph: candidates are the

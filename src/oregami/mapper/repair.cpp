@@ -9,6 +9,7 @@
 #include "oregami/mapper/refine.hpp"
 #include "oregami/metrics/incremental.hpp"
 #include "oregami/support/error.hpp"
+#include "oregami/support/trace.hpp"
 
 namespace oregami {
 
@@ -140,6 +141,7 @@ RepairResult repair_mapping(const TaskGraph& graph,
                             const RepairOptions& options) {
   const Topology& base = faults.base();
   const Deadline deadline(options.time_budget_ms);
+  const trace::Span span("repair");
 
   std::vector<int> proc = mapping.proc_of_task();
   if (static_cast<int>(proc.size()) != graph.num_tasks()) {
@@ -171,6 +173,7 @@ RepairResult repair_mapping(const TaskGraph& graph,
 
   if (options.allow_migrate) {
     // --- Rung 1: migrate displaced tasks, re-route everything. ---
+    const trace::Span rung_span("migrate");
     for (int t = 0; t < graph.num_tasks(); ++t) {
       const int p = proc[static_cast<std::size_t>(t)];
       if (!faults.healthy(p)) {
@@ -242,6 +245,12 @@ RepairResult repair_mapping(const TaskGraph& graph,
     result.details =
         "migrated " + std::to_string(result.migrations.size()) +
         " task(s) in " + std::to_string(result.attempts) + " attempt(s)";
+    trace::counter("migrations",
+                   static_cast<std::int64_t>(result.migrations.size()));
+    trace::counter("attempts", result.attempts);
+    if (result.deadline_hit) {
+      trace::instant("deadline_hit", "migrate improvement loop");
+    }
 
     std::vector<int> repaired_proc = inc.proc_of_task();
     std::vector<PhaseRouting> repaired_routing = inc.routing();
@@ -249,6 +258,7 @@ RepairResult repair_mapping(const TaskGraph& graph,
     // --- Rung 2: local refinement polish (healthy candidates only:
     // dead processors have no surviving links in the faulted graph).
     if (options.allow_refine && !deadline.passed()) {
+      const trace::Span refine_span("refine");
       PlacementRefineResult refined = refine_placement(
           graph, ftopo, std::move(repaired_proc),
           std::move(repaired_routing), options.model, /*load_bound_B=*/0,
@@ -260,11 +270,14 @@ RepairResult repair_mapping(const TaskGraph& graph,
                           " completion (" + std::to_string(refined.moves) +
                           " moves)";
       }
+      trace::counter("refine_moves", refined.moves);
+      trace::counter("refine_improvement", refined.improvement());
       repaired_proc = std::move(refined.proc_of_task);
       repaired_routing = std::move(refined.routing);
     } else if (options.allow_refine) {
       result.deadline_hit = true;
       result.details += "; refinement skipped (deadline)";
+      trace::instant("deadline_hit", "refine rung skipped");
     }
 
     result.mapping = mapping_from_placement(
@@ -273,6 +286,7 @@ RepairResult repair_mapping(const TaskGraph& graph,
         base.num_procs());
   } else if (options.allow_remap) {
     // --- Rung 3: full remap on the compacted healthy machine. ---
+    const trace::Span rung_span("remap");
     const FaultedTopology::HealthySub sub = faults.healthy_subtopology();
     MapperOptions remap_options = options.remap_options;
     remap_options.portfolio_seed = options.seed != 0
@@ -294,6 +308,11 @@ RepairResult repair_mapping(const TaskGraph& graph,
   result.degraded_completion = degraded_completion_time(
       graph, result.mapping.proc_of_task(), result.mapping.routing, faults,
       options.model);
+  if (trace::enabled()) {
+    trace::counter("healthy_completion", result.healthy_completion);
+    trace::counter("degraded_completion", result.degraded_completion);
+    trace::instant("rung", to_string(result.rung));
+  }
   return result;
 }
 

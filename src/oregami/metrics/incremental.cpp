@@ -6,6 +6,7 @@
 
 #include "oregami/arch/routes.hpp"
 #include "oregami/support/error.hpp"
+#include "oregami/support/trace.hpp"
 
 namespace oregami {
 
@@ -111,6 +112,49 @@ IncrementalCompletion::IncrementalCompletion(
     : IncrementalCompletion(graph, topo, mapping.proc_of_task(),
                             mapping.routing, model,
                             std::move(link_factor)) {}
+
+CommPhaseSnapshot IncrementalCompletion::comm_snapshot(int phase) const {
+  const auto& state = comm_[static_cast<std::size_t>(phase)];
+  CommPhaseSnapshot snap;
+  snap.max_volume = state.max_volume;
+  snap.max_hops = state.max_hops;
+  snap.hops_hist = state.hops_hist;
+  for (const std::int64_t v : state.volume) {
+    if (v > 0) {
+      snap.total_volume += v;
+      ++snap.used_links;
+    }
+  }
+  return snap;
+}
+
+std::int64_t IncrementalCompletion::exec_max_load(int phase) const {
+  return exec_[static_cast<std::size_t>(phase)].max;
+}
+
+void IncrementalCompletion::trace_phase_counters() const {
+  if (!trace::enabled()) {
+    return;
+  }
+  for (std::size_t k = 0; k < comm_.size(); ++k) {
+    const std::string name = graph_.comm_phases()[k].name;
+    const CommPhaseSnapshot snap = comm_snapshot(static_cast<int>(k));
+    trace::counter(name + "/max_link_volume", snap.max_volume);
+    trace::counter(name + "/total_volume", snap.total_volume);
+    trace::counter(name + "/used_links", snap.used_links);
+    trace::counter(name + "/max_hops", snap.max_hops);
+    for (std::size_t h = 0; h < snap.hops_hist.size(); ++h) {
+      if (snap.hops_hist[h] > 0) {
+        trace::counter(name + "/hops=" + std::to_string(h),
+                       snap.hops_hist[h]);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < exec_.size(); ++k) {
+    trace::counter(graph_.exec_phases()[k].name + "/max_load",
+                   exec_[k].max);
+  }
+}
 
 void IncrementalCompletion::rebuild_exec_tracker(ExecState& state) const {
   state.max = 0;

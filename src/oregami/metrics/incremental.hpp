@@ -31,6 +31,16 @@
 
 namespace oregami {
 
+/// Read-only view of one comm phase's tracked state, for observability
+/// consumers (trace counters, --explain, bench counter snapshots).
+struct CommPhaseSnapshot {
+  std::int64_t max_volume = 0;    ///< weighted serialised bottleneck
+  std::int64_t total_volume = 0;  ///< summed weighted volume over links
+  int used_links = 0;             ///< links carrying any volume
+  int max_hops = 0;               ///< longest route
+  std::vector<int> hops_hist;     ///< routes per hop count
+};
+
 class IncrementalCompletion {
  public:
   /// Takes ownership of a task-level placement and its routing (e.g.
@@ -77,6 +87,21 @@ class IncrementalCompletion {
   [[nodiscard]] std::size_t history_size() const {
     return history_.size();
   }
+
+  /// Snapshot of comm phase `phase`'s per-link volumes and hop
+  /// histogram (the trackers delta_move maintains). O(links).
+  [[nodiscard]] CommPhaseSnapshot comm_snapshot(int phase) const;
+
+  /// Max per-processor load of exec phase `phase` (the phase's
+  /// modelled time).
+  [[nodiscard]] std::int64_t exec_max_load(int phase) const;
+
+  /// Emits the per-phase trackers as trace counters under the current
+  /// span: for each comm phase "<name>/max_link_volume",
+  /// "/total_volume", "/used_links", "/max_hops" and one "hops=<h>"
+  /// bucket per histogram entry; for each exec phase "/max_load".
+  /// No-op when tracing is disabled.
+  void trace_phase_counters() const;
 
  private:
   struct ExecState {

@@ -4,7 +4,9 @@
 #include <queue>
 #include <string>
 
+#include "oregami/metrics/incremental.hpp"
 #include "oregami/support/error.hpp"
+#include "oregami/support/trace.hpp"
 
 namespace oregami {
 
@@ -188,6 +190,7 @@ SimResult simulate(const TaskGraph& graph,
                    const std::vector<int>& proc_of_task,
                    const std::vector<PhaseRouting>& routing,
                    const Topology& topo, const SimConfig& config) {
+  const trace::Span span("sim");
   OREGAMI_ASSERT(routing.size() == graph.comm_phases().size(),
                  "routing must cover every phase");
   if (config.faults != nullptr) {
@@ -224,6 +227,25 @@ SimResult simulate(const TaskGraph& graph,
   }
   for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
     result.exec_phase_cycles.push_back(walker.exec(static_cast<int>(k)));
+  }
+  if (trace::enabled()) {
+    trace::counter("total_cycles", result.total_cycles);
+    for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+      trace::counter(graph.comm_phases()[k].name + "/sim_makespan",
+                     result.comm_phase_cycles[k]);
+    }
+    for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
+      trace::counter(graph.exec_phases()[k].name + "/sim_cycles",
+                     result.exec_phase_cycles[k]);
+    }
+    if (config.faults == nullptr) {
+      // Structural per-phase link-volume and hop-histogram counters via
+      // the metrics layer's incremental trackers. Base-topology link
+      // ids only: under faults the routing carries faulted ids, which
+      // the trackers must not index into the base machine.
+      const IncrementalCompletion inc(graph, topo, proc_of_task, routing);
+      inc.trace_phase_counters();
+    }
   }
   return result;
 }

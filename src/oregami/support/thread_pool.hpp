@@ -30,8 +30,11 @@ namespace oregami {
 class ThreadPool {
  public:
   /// Starts `num_workers` worker threads; `num_workers` <= 0 selects
-  /// std::thread::hardware_concurrency() (at least 1).
-  explicit ThreadPool(int num_workers);
+  /// std::thread::hardware_concurrency() (at least 1). `name` labels
+  /// the workers ("<name>#<index>" as the OS thread name, truncated to
+  /// the platform limit) so traces and debuggers attribute work to the
+  /// right lane.
+  explicit ThreadPool(int num_workers, const char* name = "oregami-w");
 
   /// Drains the queue (pending tasks still run) and joins the workers.
   ~ThreadPool();
@@ -45,6 +48,14 @@ class ThreadPool {
 
   /// Resolves the worker count the constructor would use for `jobs`.
   [[nodiscard]] static int resolve_workers(int jobs);
+
+  /// Stable index of the calling pool worker within its pool
+  /// (0 .. num_workers-1), or -1 when the caller is not a pool worker.
+  /// Trace events record this so a span can be attributed to the
+  /// physical lane that ran it (it is *volatile* metadata: which
+  /// worker runs which task is scheduling-dependent, so exporters
+  /// strip it alongside wall times in canonical output).
+  [[nodiscard]] static int current_worker_index();
 
   /// Enqueues `task` and returns the future of its result. Safe to call
   /// from multiple threads and from within pool tasks (the pool never
@@ -64,7 +75,7 @@ class ThreadPool {
 
  private:
   void enqueue(std::function<void()> job);
-  void worker_loop();
+  void worker_loop(int worker_index, const std::string& name);
 
   std::mutex mutex_;
   std::condition_variable wake_;

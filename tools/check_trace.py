@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate and normalise oregami_map --trace output.
+
+Dependency-free (stdlib only): validates a trace JSON file against the
+invariants encoded in tools/trace_schema.json without needing a
+jsonschema package, and optionally writes a normalised copy with the
+volatile fields (ts, dur, args.worker) stripped so two runs of the same
+pipeline can be byte-compared regardless of wall clock, scheduling, or
+--jobs value.
+
+Usage:
+    check_trace.py TRACE.json              # validate, exit 0/1
+    check_trace.py TRACE.json --norm OUT   # validate + write normalised copy
+
+The hand-rolled checks mirror trace_schema.json; keep the two in sync.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PH = {"X", "C", "i"}
+
+
+def fail(errors, index, message):
+    errors.append(f"traceEvents[{index}]: {message}")
+
+
+def check_event(event, index, errors):
+    if not isinstance(event, dict):
+        fail(errors, index, "event is not an object")
+        return
+    for key in ("name", "cat", "ph", "pid", "tid", "ts", "args"):
+        if key not in event:
+            fail(errors, index, f"missing required field '{key}'")
+            return
+    allowed = {"name", "cat", "ph", "pid", "tid", "ts", "dur", "s", "args"}
+    for key in event:
+        if key not in allowed:
+            fail(errors, index, f"unexpected field '{key}'")
+    if not isinstance(event["name"], str) or not event["name"]:
+        fail(errors, index, "name must be a non-empty string")
+    if event["cat"] != "oregami":
+        fail(errors, index, f"cat must be 'oregami', got {event['cat']!r}")
+    ph = event["ph"]
+    if ph not in VALID_PH:
+        fail(errors, index, f"ph must be one of {sorted(VALID_PH)}, got {ph!r}")
+        return
+    if event["pid"] != 1:
+        fail(errors, index, f"pid must be 1, got {event['pid']!r}")
+    if not isinstance(event["tid"], int) or event["tid"] < 0:
+        fail(errors, index, "tid must be a non-negative integer lane")
+    if not isinstance(event["ts"], int) or event["ts"] < 0:
+        fail(errors, index, "ts must be a non-negative integer")
+    if ph == "X":
+        if not isinstance(event.get("dur"), int) or event["dur"] < 0:
+            fail(errors, index, "span ('X') needs a non-negative integer dur")
+    elif "dur" in event:
+        fail(errors, index, f"dur is only valid on spans, not ph={ph!r}")
+    if ph == "i":
+        if event.get("s") != "t":
+            fail(errors, index, "instant ('i') needs s == 't'")
+    elif "s" in event:
+        fail(errors, index, f"s is only valid on instants, not ph={ph!r}")
+
+    args = event["args"]
+    if not isinstance(args, dict):
+        fail(errors, index, "args must be an object")
+        return
+    path = args.get("path")
+    if not isinstance(path, str) or not path:
+        fail(errors, index, "args.path must be a non-empty string")
+    elif not path.endswith(event["name"]):
+        fail(errors, index,
+             f"name {event['name']!r} is not the leaf of path {path!r}")
+    worker = args.get("worker")
+    if not isinstance(worker, int) or worker < -1:
+        fail(errors, index, "args.worker must be an integer >= -1")
+    if ph == "C":
+        if not isinstance(args.get("value"), int):
+            fail(errors, index, "counter ('C') needs an integer args.value")
+    elif "value" in args:
+        fail(errors, index, "args.value is only valid on counters")
+    for key in args:
+        if key not in {"path", "value", "detail", "worker"}:
+            fail(errors, index, f"unexpected args field '{key}'")
+    if "detail" in args and not isinstance(args["detail"], str):
+        fail(errors, index, "args.detail must be a string")
+
+
+def normalise(doc):
+    """Zero the volatile fields in place; deterministic fields survive."""
+    for event in doc["traceEvents"]:
+        event["ts"] = 0
+        if "dur" in event:
+            event["dur"] = 0
+        if isinstance(event.get("args"), dict):
+            event["args"]["worker"] = 0
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSON file written by --trace")
+    parser.add_argument(
+        "--norm", metavar="OUT",
+        help="write a normalised copy (volatile fields zeroed) to OUT")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot load {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    errors = []
+    if not isinstance(doc, dict) or set(doc) != {"traceEvents"}:
+        errors.append("document must be exactly {\"traceEvents\": [...]}")
+    elif not isinstance(doc["traceEvents"], list):
+        errors.append("traceEvents must be an array")
+    else:
+        for index, event in enumerate(doc["traceEvents"]):
+            check_event(event, index, errors)
+
+    if errors:
+        for error in errors[:20]:
+            print(f"error: {error}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"error: ... and {len(errors) - 20} more", file=sys.stderr)
+        return 1
+
+    count = len(doc["traceEvents"])
+    print(f"{args.trace}: OK ({count} events)")
+
+    if args.norm:
+        with open(args.norm, "w", encoding="utf-8") as handle:
+            json.dump(normalise(doc), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@
 #include "oregami/schedule/synchrony.hpp"
 #include "oregami/sim/network_sim.hpp"
 #include "oregami/support/error.hpp"
+#include "oregami/support/trace.hpp"
 
 namespace {
 
@@ -68,6 +69,9 @@ struct Options {
   std::uint64_t fault_seed = 0;
   bool repair = false;
   std::int64_t time_budget_ms = 0;
+  std::optional<std::string> trace_file;
+  bool trace_summary = false;
+  bool explain = false;
   MapperOptions mapper;
 };
 
@@ -102,6 +106,15 @@ int usage(const char* argv0) {
       << "  --repair               map the healthy machine first, then\n"
       << "                         repair the mapping onto the degraded\n"
       << "                         one (prints both completions)\n"
+      << "  --trace FILE           record a structured pipeline trace and\n"
+      << "                         write Chrome trace-event JSON to FILE\n"
+      << "                         (load in Perfetto / chrome://tracing)\n"
+      << "  --trace-summary        print an ASCII span tree with\n"
+      << "                         inclusive/exclusive times and counters\n"
+      << "  --explain              print the decision-provenance report\n"
+      << "                         (why the portfolio winner won, with the\n"
+      << "                         per-phase cost breakdown); requires\n"
+      << "                         --portfolio\n"
       << topology_spec_help() << "\n"
       << "exit codes: 0 ok, 1 internal error, 2 usage, 3 bad input, "
          "4 mapping infeasible\n";
@@ -181,6 +194,16 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.mapper.allow_systolic = false;
     } else if (arg == "--refine-placement") {
       options.mapper.refine_placement = true;
+    } else if (arg == "--trace") {
+      if (auto v = next()) {
+        options.trace_file = *v;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--trace-summary") {
+      options.trace_summary = true;
+    } else if (arg == "--explain") {
+      options.explain = true;
     } else if (arg == "--portfolio" || arg == "--jobs" || arg == "--seed" ||
                arg == "--fault-seed" || arg == "--time-budget") {
       const auto v = next();
@@ -239,12 +262,18 @@ int map_and_report(const Options& options, const larcs::Program& ast,
 
     MapperReport report;
     std::string portfolio_table;
+    std::string provenance;
     if (mapper.portfolio > 0 && mapper.faults == nullptr) {
       PortfolioOptions popts = portfolio_options_from(mapper);
       popts.time_budget_ms = options.time_budget_ms;
       const PortfolioReport pf =
           portfolio_map_program(ast, compiled, topo, mapper, popts);
-      portfolio_table = pf.table();
+      // The timed variant: same table plus wall-ms columns, with
+      // skipped candidates showing the elapsed time at the cut-off.
+      portfolio_table = pf.timed_table();
+      if (options.explain) {
+        provenance = pf.explain();
+      }
       report = pf.best;
     } else {
       report = map_program(ast, compiled, topo, mapper);
@@ -264,7 +293,9 @@ int map_and_report(const Options& options, const larcs::Program& ast,
     }
     std::cout << "strategy:  " << to_string(report.strategy) << "\n"
               << "           " << report.details << "\n\n";
-    if (!portfolio_table.empty()) {
+    if (options.explain) {
+      std::cout << provenance << "\n";
+    } else if (!portfolio_table.empty()) {
       std::cout << "portfolio candidates:\n" << portfolio_table << "\n";
     }
 
@@ -396,6 +427,29 @@ int run(const Options& options) {
   }
 }
 
+/// Flushes the tracer after the pipeline ran (success or not): Chrome
+/// trace-event JSON to --trace FILE, ASCII span tree to stdout for
+/// --trace-summary. Never changes the exit code.
+void emit_trace(const Options& options) {
+  if (!options.trace_file && !options.trace_summary) {
+    return;
+  }
+  trace::disable();
+  const auto events = trace::snapshot();
+  if (options.trace_file) {
+    std::ofstream out(*options.trace_file);
+    if (!out) {
+      std::cerr << "warning: cannot write trace to '" << *options.trace_file
+                << "'\n";
+    } else {
+      trace::write_chrome_json(out, events);
+    }
+  }
+  if (options.trace_summary) {
+    std::cout << trace::summary_tree(events);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -424,7 +478,17 @@ int main(int argc, char** argv) {
       std::cerr << "--repair requires --inject-faults\n";
       return usage(argv[0]);
     }
-    return run(options);
+    if (options.explain && options.mapper.portfolio <= 0) {
+      std::cerr << "--explain requires --portfolio N (the provenance "
+                   "report describes the portfolio decision)\n";
+      return usage(argv[0]);
+    }
+    if (options.trace_file || options.trace_summary) {
+      trace::enable();
+    }
+    const int code = run(options);
+    emit_trace(options);
+    return code;
   } catch (const std::exception& e) {
     std::cerr << "internal error: " << e.what() << "\n";
     return kExitInternal;
