@@ -82,53 +82,12 @@ OracleFigureRow compare_family(const Topology& topo) {
   return row;
 }
 
-/// The refinement workload: every (task, candidate-processor) move of a
-/// full sweep, scored either incrementally or from scratch.
-struct RefineWorkload {
-  TaskGraph graph;
-  Topology topo = Topology::mesh(16, 16);
-  std::vector<int> procs;
-  std::vector<PhaseRouting> routing;
-};
+/// The refinement workload (shared with bench_anneal): every (task,
+/// candidate-processor) move of a full sweep, scored either
+/// incrementally or from scratch.
+using RefineWorkload = bench::MapperWorkload;
 
-RefineWorkload make_refine_workload() {
-  RefineWorkload w;
-  // Multi-phase graph shaped like the paper programs: several comm
-  // phases plus exec phases under a repeated sequence.
-  SplitMix64 rng(0x5EEDULL);
-  const int n = 512;
-  for (int i = 0; i < n; ++i) {
-    w.graph.add_task("t" + std::to_string(i));
-  }
-  std::vector<PhaseTree> leaves;
-  for (int k = 0; k < 4; ++k) {
-    const int phase = w.graph.add_comm_phase("comm" + std::to_string(k));
-    for (int u = 0; u < n; ++u) {
-      for (int v = u + 1; v < n; ++v) {
-        if (rng.next_double() < 0.01) {
-          w.graph.add_comm_edge(phase, u, v, rng.next_in(1, 20));
-        }
-      }
-    }
-    leaves.push_back(PhaseTree::comm(phase));
-  }
-  for (int k = 0; k < 2; ++k) {
-    std::vector<std::int64_t> cost(static_cast<std::size_t>(n));
-    for (auto& c : cost) {
-      c = rng.next_in(1, 30);
-    }
-    const int phase =
-        w.graph.add_exec_phase("exec" + std::to_string(k), std::move(cost));
-    leaves.push_back(PhaseTree::exec(phase));
-  }
-  w.graph.set_phase_expr(
-      PhaseTree::repeat(PhaseTree::seq(std::move(leaves)), 8));
-  w.graph.validate();
-  const MapperReport report = map_computation(w.graph, w.topo, {});
-  w.procs = report.mapping.proc_of_task();
-  w.routing = report.mapping.routing;
-  return w;
-}
+RefineWorkload make_refine_workload() { return bench::make_mapper_workload(); }
 
 std::vector<std::pair<int, int>> sweep_moves(const RefineWorkload& w) {
   std::vector<std::pair<int, int>> moves;
@@ -237,6 +196,7 @@ void print_figures_and_json() {
   bench::print_header(
       "distance queries, cold scattered sources: oracle vs per-row BFS");
   bench::JsonReport json("BENCH_mapper.json");
+  json.load();  // BENCH_mapper.json is shared with bench_anneal
   {
     TextTable scatter(
         {"network", "queries", "oracle (us)", "row BFS (us)", "speedup"});

@@ -5,11 +5,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "oregami/core/mapping.hpp"
 #include "oregami/core/task_graph.hpp"
+#include "oregami/mapper/driver.hpp"
 #include "oregami/metrics/incremental.hpp"
 #include "oregami/support/rng.hpp"
 
@@ -81,6 +83,56 @@ inline void print_header(const char* title) {
   std::printf("\n================ %s ================\n", title);
 }
 
+/// The shared mapper stress workload: a 512-task multi-phase graph
+/// shaped like the paper programs (4 sparse comm phases + 2 exec phases
+/// under a repeated sequence) mapped onto mesh:16x16, with the MAPPER
+/// pipeline's placement and routing as the starting point. Used by the
+/// refinement-sweep and annealing-quality benches so their series are
+/// comparable point for point.
+struct MapperWorkload {
+  TaskGraph graph;
+  Topology topo = Topology::mesh(16, 16);
+  std::vector<int> procs;
+  std::vector<PhaseRouting> routing;
+};
+
+inline MapperWorkload make_mapper_workload() {
+  MapperWorkload w;
+  SplitMix64 rng(0x5EEDULL);
+  const int n = 512;
+  for (int i = 0; i < n; ++i) {
+    w.graph.add_task("t" + std::to_string(i));
+  }
+  std::vector<PhaseTree> leaves;
+  for (int k = 0; k < 4; ++k) {
+    const int phase = w.graph.add_comm_phase("comm" + std::to_string(k));
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.next_double() < 0.01) {
+          w.graph.add_comm_edge(phase, u, v, rng.next_in(1, 20));
+        }
+      }
+    }
+    leaves.push_back(PhaseTree::comm(phase));
+  }
+  for (int k = 0; k < 2; ++k) {
+    std::vector<std::int64_t> cost(static_cast<std::size_t>(n));
+    for (auto& c : cost) {
+      c = rng.next_in(1, 30);
+    }
+    const int phase =
+        w.graph.add_exec_phase("exec" + std::to_string(k), std::move(cost));
+    leaves.push_back(PhaseTree::exec(phase));
+  }
+  w.graph.set_phase_expr(
+      PhaseTree::repeat(PhaseTree::seq(std::move(leaves)), 8));
+  w.graph.validate();
+  const MapperReport report = map_computation(w.graph, w.topo, {});
+  w.procs = report.mapping.proc_of_task();
+  w.routing = report.mapping.routing;
+  return w;
+}
+
 /// Machine-readable perf trajectory: named scalar results collected
 /// during a bench run and written as one JSON document (e.g.
 /// BENCH_mapper.json), so CI and future sessions can diff numbers
@@ -89,7 +141,64 @@ class JsonReport {
  public:
   explicit JsonReport(std::string path) : path_(std::move(path)) {}
 
+  /// Seeds the report with the entries already in the file (if any),
+  /// so several bench binaries can share one document: each binary
+  /// loads, overwrites its own series by name, and writes everything
+  /// back. Only the strict format produced by write() is understood;
+  /// a missing or unreadable file is simply an empty starting set.
+  void load() {
+    std::FILE* in = std::fopen(path_.c_str(), "r");
+    if (in == nullptr) {
+      return;
+    }
+    char line[512];
+    bool in_counters = false;
+    while (std::fgets(line, sizeof(line), in) != nullptr) {
+      const std::string s(line);
+      if (s.find("\"counters\"") != std::string::npos) {
+        in_counters = true;
+        continue;
+      }
+      const auto name_at = s.find("{\"name\": \"");
+      if (name_at == std::string::npos) {
+        continue;
+      }
+      const auto name_from = name_at + 10;
+      const auto name_to = s.find('"', name_from);
+      const auto value_at = s.find("\"value\": ", name_to);
+      if (name_to == std::string::npos || value_at == std::string::npos) {
+        continue;
+      }
+      const std::string name = s.substr(name_from, name_to - name_from);
+      const double value = std::strtod(s.c_str() + value_at + 9, nullptr);
+      if (in_counters) {
+        add_counter(name, static_cast<std::int64_t>(value));
+      } else {
+        std::string unit;
+        const auto unit_at = s.find("\"unit\": \"");
+        if (unit_at != std::string::npos) {
+          const auto unit_from = unit_at + 9;
+          const auto unit_to = s.find('"', unit_from);
+          if (unit_to != std::string::npos) {
+            unit = s.substr(unit_from, unit_to - unit_from);
+          }
+        }
+        add(name, value, unit);
+      }
+    }
+    std::fclose(in);
+  }
+
+  /// Find-or-replace by name: re-running a bench updates its own
+  /// series in place instead of appending duplicates.
   void add(const std::string& name, double value, const std::string& unit) {
+    for (auto& e : entries_) {
+      if (e.name == name) {
+        e.value = value;
+        e.unit = unit;
+        return;
+      }
+    }
     entries_.push_back({name, value, unit});
   }
 
@@ -97,6 +206,12 @@ class JsonReport {
   /// land in a separate "counters" array so perf diffs can separate
   /// "the code got slower" from "the workload changed shape".
   void add_counter(const std::string& name, std::int64_t value) {
+    for (auto& c : counters_) {
+      if (c.name == name) {
+        c.value = value;
+        return;
+      }
+    }
     counters_.push_back({name, value});
   }
 

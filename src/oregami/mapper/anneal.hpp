@@ -1,0 +1,77 @@
+// Simulated annealing over processor placements (paper §6's "new and
+// improved algorithms" commitment; the modern recipe of Glantz et al.
+// and the HTI-OVGU task-mapping field).
+//
+// The chain walks single-task moves scored by the completion model via
+// IncrementalCompletion::delta_move -- the exact O(touched-state)
+// evaluator built for placement refinement -- so one proposal costs the
+// same as one refinement probe rather than a full model re-score.
+// Downhill and sideways moves are always accepted; uphill moves are
+// accepted with probability exp(-delta / T) under a geometric cooling
+// schedule.
+//
+// Determinism contract: the result is a pure function of the inputs
+// and `AnnealOptions::seed`. The proposal stream comes from a private
+// SplitMix64, the chain is strictly sequential, and the returned state
+// is the *best* state visited, reconstructed exactly by unwinding the
+// evaluator's undo history past the last strict improvement. Two
+// consequences the tests rely on:
+//   * the result is never worse than the initial placement;
+//   * when no proposal strictly improves on the start state, the
+//     final placement, routing, and completion are bit-identical to
+//     the input (the whole apply/undo chain round-trips).
+// A positive `time_budget_ms` consults the wall clock and may cut the
+// chain short (same caveat as the portfolio deadline); 0 and negative
+// budgets never read the clock, so those modes stay bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oregami/metrics/completion_model.hpp"
+
+namespace oregami {
+
+struct AnnealOptions {
+  /// Number of move proposals (the chain length). 0 = return the
+  /// initial state untouched.
+  int iterations = 4000;
+  /// Seed of the private proposal stream.
+  std::uint64_t seed = 0x5EEDA11u;
+  /// Starting temperature; < 0 selects max(1, initial completion / 20).
+  double initial_temp = -1.0;
+  /// Geometric cooling factor applied after every proposal.
+  double cooling = 0.999;
+  /// Wall-clock deadline in milliseconds: 0 = none, < 0 = already
+  /// expired (no proposals run; deterministic), > 0 = checked
+  /// periodically while the chain runs.
+  std::int64_t time_budget_ms = 0;
+};
+
+struct AnnealResult {
+  std::vector<int> proc_of_task;
+  std::vector<PhaseRouting> routing;  ///< greedy re-routes of moved edges
+  std::int64_t completion_before = 0;
+  std::int64_t completion_after = 0;  ///< best completion visited
+  int proposed = 0;                   ///< proposals actually evaluated
+  int accepted = 0;                   ///< moves committed to the chain
+  int uphill = 0;                     ///< accepted with delta > 0
+  bool deadline_hit = false;          ///< a positive budget cut the chain
+
+  [[nodiscard]] std::int64_t improvement() const {
+    return completion_before - completion_after;
+  }
+};
+
+/// Runs the annealing chain from `proc_of_task` + `routing` (e.g. a
+/// MAPPER-produced mapping). `link_factor` (optional, empty = all 1)
+/// is the per-link serialisation multiplier forwarded to
+/// IncrementalCompletion, so a chain on a degraded machine steers
+/// traffic away from slowed links.
+[[nodiscard]] AnnealResult anneal_placement(
+    const TaskGraph& graph, const Topology& topo,
+    std::vector<int> proc_of_task, std::vector<PhaseRouting> routing,
+    const CostModel& model = {}, const AnnealOptions& options = {},
+    std::vector<std::int64_t> link_factor = {});
+
+}  // namespace oregami

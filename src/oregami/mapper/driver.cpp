@@ -26,8 +26,36 @@ std::string to_string(MapStrategy strategy) {
       return "systolic";
     case MapStrategy::General:
       return "general (MWM-Contract + NN-Embed)";
+    case MapStrategy::Anneal:
+      return "simulated annealing";
+    case MapStrategy::ListSchedule:
+      return "HEFT list schedule";
   }
   return "?";
+}
+
+Mapping mapping_from_placement(const std::vector<int>& proc_of_task,
+                               std::vector<PhaseRouting> routing,
+                               int num_procs) {
+  std::vector<int> cluster_of_proc(static_cast<std::size_t>(num_procs), -1);
+  Mapping mapping;
+  for (const int p : proc_of_task) {
+    cluster_of_proc[static_cast<std::size_t>(p)] = 0;
+  }
+  for (int p = 0; p < num_procs; ++p) {
+    if (cluster_of_proc[static_cast<std::size_t>(p)] == 0) {
+      cluster_of_proc[static_cast<std::size_t>(p)] =
+          mapping.contraction.num_clusters++;
+      mapping.embedding.proc_of_cluster.push_back(p);
+    }
+  }
+  mapping.contraction.cluster_of_task.reserve(proc_of_task.size());
+  for (const int p : proc_of_task) {
+    mapping.contraction.cluster_of_task.push_back(
+        cluster_of_proc[static_cast<std::size_t>(p)]);
+  }
+  mapping.routing = std::move(routing);
+  return mapping;
 }
 
 Graph cluster_graph_of(const TaskGraph& graph,
@@ -94,32 +122,6 @@ Embedding embed_clusters(const TaskGraph& graph,
 }
 
 namespace {
-
-/// Rebuilds the three-layer mapping from a flat task placement:
-/// clusters are the occupied processors in ascending order.
-Mapping mapping_from_placement(const std::vector<int>& proc_of_task,
-                               std::vector<PhaseRouting> routing,
-                               int num_procs) {
-  std::vector<int> cluster_of_proc(static_cast<std::size_t>(num_procs), -1);
-  Mapping mapping;
-  for (const int p : proc_of_task) {
-    cluster_of_proc[static_cast<std::size_t>(p)] = 0;
-  }
-  for (int p = 0; p < num_procs; ++p) {
-    if (cluster_of_proc[static_cast<std::size_t>(p)] == 0) {
-      cluster_of_proc[static_cast<std::size_t>(p)] =
-          mapping.contraction.num_clusters++;
-      mapping.embedding.proc_of_cluster.push_back(p);
-    }
-  }
-  mapping.contraction.cluster_of_task.reserve(proc_of_task.size());
-  for (const int p : proc_of_task) {
-    mapping.contraction.cluster_of_task.push_back(
-        cluster_of_proc[static_cast<std::size_t>(p)]);
-  }
-  mapping.routing = std::move(routing);
-  return mapping;
-}
 
 MapperReport finish(MapStrategy strategy, std::string details,
                     Contraction contraction, Embedding embedding,

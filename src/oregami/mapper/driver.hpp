@@ -29,7 +29,9 @@ enum class MapStrategy {
   Canned,
   GroupTheoretic,
   Systolic,
-  General,  ///< MWM-Contract + NN-Embed
+  General,       ///< MWM-Contract + NN-Embed
+  Anneal,        ///< simulated annealing over placements (portfolio only)
+  ListSchedule,  ///< HEFT critical-path list scheduling (portfolio only)
 };
 
 [[nodiscard]] std::string to_string(MapStrategy strategy);
@@ -55,6 +57,13 @@ struct MapperOptions {
   /// return the best-scoring mapping. The result is bit-deterministic
   /// in `portfolio_seed` and independent of `jobs`.
   int portfolio = 0;
+  /// Portfolio-only extensions (both off by default so every golden
+  /// portfolio output stays byte-identical): `anneal` > 0 adds that
+  /// many seeded simulated-annealing candidates (mapper/anneal.hpp);
+  /// `heft` adds the HEFT critical-path list-scheduling candidate
+  /// (mapper/list_schedule.hpp). Both are ignored when portfolio == 0.
+  int anneal = 0;
+  bool heft = false;
   int jobs = 1;  ///< portfolio workers; 0 = hardware_concurrency
   std::uint64_t portfolio_seed = 0x09E6A311u;  ///< candidate RNG base seed
   /// Degraded-mode mapping (not owned; must outlive the call). When set
@@ -120,6 +129,14 @@ struct MapperReport {
                                        const Topology& topo,
                                        std::string* how = nullptr,
                                        std::uint64_t nn_seed = 0);
+
+/// Rebuilds the three-layer Mapping from a flat task placement:
+/// clusters are the occupied processors in ascending order. Shared by
+/// placement refinement, repair, and the annealing/list-scheduling
+/// portfolio candidates.
+[[nodiscard]] Mapping mapping_from_placement(
+    const std::vector<int>& proc_of_task, std::vector<PhaseRouting> routing,
+    int num_procs);
 
 /// Builds the weighted cluster graph induced by a contraction
 /// (inter-cluster aggregate communication).

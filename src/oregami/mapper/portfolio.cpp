@@ -1,5 +1,6 @@
 #include "oregami/mapper/portfolio.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -8,6 +9,8 @@
 #include <tuple>
 #include <utility>
 
+#include "oregami/mapper/anneal.hpp"
+#include "oregami/mapper/list_schedule.hpp"
 #include "oregami/support/error.hpp"
 #include "oregami/support/rng.hpp"
 #include "oregami/support/text_table.hpp"
@@ -21,30 +24,12 @@ PortfolioOptions portfolio_options_from(const MapperOptions& options) {
   popts.num_seeded = options.portfolio;
   popts.jobs = options.jobs;
   popts.seed = options.portfolio_seed;
+  popts.num_anneal = options.anneal;
+  popts.heft = options.heft;
   return popts;
 }
 
 namespace {
-
-/// Multiplicity-weighted volume crossing processor boundaries (the
-/// METRICS total-IPC headline, recomputed here so the mapper layer
-/// does not depend on the metrics library).
-std::int64_t external_ipc_of(const TaskGraph& graph,
-                             const std::vector<int>& proc_of_task) {
-  const auto multiplicity = graph.comm_phase_multiplicity();
-  std::int64_t total = 0;
-  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
-    std::int64_t phase_volume = 0;
-    for (const auto& e : graph.comm_phases()[k].edges) {
-      if (proc_of_task[static_cast<std::size_t>(e.src)] !=
-          proc_of_task[static_cast<std::size_t>(e.dst)]) {
-        phase_volume += e.volume;
-      }
-    }
-    total += phase_volume * multiplicity[k];
-  }
-  return total;
-}
 
 /// Independent RNG stream for candidate `id`: SplitMix64 seeded by a
 /// mix of the base seed and the id, so neighbouring ids decorrelate
@@ -91,6 +76,72 @@ void add_seeded_variants(std::vector<CandidateSpec>* specs,
          [&graph, &topo, variant, nn_seed] {
            return std::optional<MapperReport>(
                map_general_seeded(graph, topo, variant, nn_seed));
+         }});
+  }
+}
+
+/// The opt-in extended families (ISSUE 6): the HEFT critical-path list
+/// scheduler and `num_anneal` simulated-annealing chains. Appended
+/// AFTER the seeded variants, so turning them on never renumbers the
+/// existing candidate ids. Each annealing candidate starts from the
+/// deterministic general-path mapping and walks its own
+/// (seed, id)-derived move stream; the portfolio's global time budget
+/// is forwarded so a positive deadline also bounds each chain, while
+/// non-positive budgets stay clock-free and bit-deterministic.
+void add_extended_candidates(std::vector<CandidateSpec>* specs,
+                             const TaskGraph& graph, const Topology& topo,
+                             const MapperOptions& base,
+                             const PortfolioOptions& options) {
+  if (options.heft) {
+    ListScheduleOptions lopts;
+    lopts.model = options.model;
+    lopts.time_budget_ms = options.time_budget_ms;
+    specs->push_back(
+        {"heft critical-path",
+         [&graph, &topo, lopts, routing = base.routing] {
+           const ListScheduleResult ls = list_schedule(graph, topo, lopts);
+           MapperReport report;
+           report.strategy = MapStrategy::ListSchedule;
+           report.details = "HEFT upward-rank list schedule; modelled "
+                            "makespan " + std::to_string(ls.makespan);
+           if (ls.deadline_degraded > 0) {
+             report.details += "; " + std::to_string(ls.deadline_degraded) +
+                               " task(s) placed by deadline fallback";
+           }
+           report.mapping = mapping_from_placement(
+               ls.proc_of_task, mm_route(graph, ls.proc_of_task, topo,
+                                         routing),
+               topo.num_procs());
+           return std::optional<MapperReport>(std::move(report));
+         }});
+  }
+  const int first_id = static_cast<int>(specs->size());
+  for (int i = 0; i < options.num_anneal; ++i) {
+    MapperOptions variant = base;
+    variant.portfolio = 0;
+    SplitMix64 stream = candidate_stream(options.seed, first_id + i);
+    AnnealOptions aopts;
+    aopts.seed = stream.next_u64();
+    aopts.iterations = options.anneal_iterations;
+    aopts.time_budget_ms = options.time_budget_ms;
+    specs->push_back(
+        {"anneal seed#" + std::to_string(i),
+         [&graph, &topo, variant, aopts, model = options.model] {
+           MapperReport init = map_general_seeded(graph, topo, variant, 0);
+           AnnealResult sa = anneal_placement(
+               graph, topo, init.mapping.proc_of_task(),
+               std::move(init.mapping.routing), model, aopts);
+           MapperReport report;
+           report.strategy = MapStrategy::Anneal;
+           report.details =
+               "SA " + std::to_string(sa.proposed) + " proposals, " +
+               std::to_string(sa.accepted) + " accepted (" +
+               std::to_string(sa.uphill) + " uphill); completion " +
+               std::to_string(sa.completion_before) + " -> " +
+               std::to_string(sa.completion_after);
+           report.mapping = mapping_from_placement(
+               sa.proc_of_task, std::move(sa.routing), topo.num_procs());
+           return std::optional<MapperReport>(std::move(report));
          }});
   }
 }
@@ -245,9 +296,11 @@ PortfolioReport run_portfolio(const TaskGraph& graph, const Topology& topo,
       continue;
     }
     const auto procs = candidate.mapping.proc_of_task();
-    candidate.completion = completion_time(
+    const PlacementObjectives objectives = extract_objectives(
         graph, procs, candidate.mapping.routing, topo, options.model);
-    candidate.external_ipc = external_ipc_of(graph, procs);
+    candidate.completion = objectives.completion;
+    candidate.external_ipc = objectives.external_ipc;
+    candidate.max_load = objectives.max_load;
     // Per-phase decomposition of the modelled score (what --explain
     // prints; the sum re-composed through the phase expression is the
     // completion above).
@@ -377,6 +430,80 @@ std::string PortfolioReport::explain(bool with_timing) const {
   return out.str();
 }
 
+std::vector<int> PortfolioReport::pareto_front() const {
+  std::vector<const PortfolioCandidate*> feasible;
+  for (const auto& c : candidates) {
+    if (c.ok) {
+      feasible.push_back(&c);
+    }
+  }
+  std::vector<int> front;
+  for (const auto* a : feasible) {
+    bool dominated = false;
+    for (const auto* b : feasible) {
+      if (b == a) {
+        continue;
+      }
+      const bool no_worse = b->completion <= a->completion &&
+                            b->external_ipc <= a->external_ipc &&
+                            b->max_load <= a->max_load;
+      const bool strictly_better = b->completion < a->completion ||
+                                   b->external_ipc < a->external_ipc ||
+                                   b->max_load < a->max_load;
+      // Exact-triple ties: only the lowest id survives (keeps the
+      // front free of duplicates without a separate dedup pass).
+      if (no_worse && (strictly_better || b->id < a->id)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      front.push_back(a->id);
+    }
+  }
+  std::sort(front.begin(), front.end(), [this](int x, int y) {
+    const auto& a = candidates[static_cast<std::size_t>(x)];
+    const auto& b = candidates[static_cast<std::size_t>(y)];
+    return std::make_tuple(a.completion, a.external_ipc, a.max_load, a.id) <
+           std::make_tuple(b.completion, b.external_ipc, b.max_load, b.id);
+  });
+  return front;
+}
+
+std::string PortfolioReport::pareto() const {
+  OREGAMI_ASSERT(best_id >= 0, "pareto() requires a scored report");
+  const std::vector<int> front = pareto_front();
+  std::size_t feasible = 0;
+  for (const auto& c : candidates) {
+    feasible += c.ok ? 1 : 0;
+  }
+  std::ostringstream out;
+  out << "Pareto front over (completion, external IPC, max exec load): "
+      << front.size() << " of " << feasible
+      << " feasible candidate(s) non-dominated\n";
+  TextTable t(
+      {"id", "candidate", "completion", "ext-IPC", "max-load", "status"});
+  bool best_on_front = false;
+  const auto add_candidate_row = [&t, this](int id, const std::string& status) {
+    const auto& c = candidates[static_cast<std::size_t>(id)];
+    t.add_row({std::to_string(c.id), c.label, std::to_string(c.completion),
+               std::to_string(c.external_ipc), std::to_string(c.max_load),
+               status});
+  };
+  for (const int id : front) {
+    best_on_front = best_on_front || id == best_id;
+    add_candidate_row(id, id == best_id ? "** best **" : "non-dominated");
+  }
+  if (!best_on_front) {
+    // The winner minimises (completion, IPC, id) but another candidate
+    // matched both and carried a lower max load; keep the winner
+    // visible rather than silently dropping it.
+    add_candidate_row(best_id, "** best ** (dominated on max-load)");
+  }
+  out << t.to_string();
+  return out.str();
+}
+
 PortfolioReport portfolio_map_computation(const TaskGraph& graph,
                                           const Topology& topo,
                                           const MapperOptions& base,
@@ -411,6 +538,7 @@ PortfolioReport portfolio_map_computation(const TaskGraph& graph,
          return try_strategy(MapStrategy::General, graph, topo, flipped);
        }});
   add_seeded_variants(&specs, graph, topo, single, options);
+  add_extended_candidates(&specs, graph, topo, single, options);
   return run_portfolio(graph, topo, options, std::move(specs));
 }
 
@@ -456,6 +584,7 @@ PortfolioReport portfolio_map_program(const larcs::Program& program,
          return try_strategy(MapStrategy::General, graph, topo, flipped);
        }});
   add_seeded_variants(&specs, graph, topo, single, options);
+  add_extended_candidates(&specs, graph, topo, single, options);
   return run_portfolio(graph, topo, options, std::move(specs));
 }
 

@@ -43,6 +43,18 @@ struct PortfolioOptions {
   std::uint64_t seed = 0x09E6A311u;
   /// Cost model used to score candidates.
   CostModel model;
+  /// Extended candidate families, both off by default so golden
+  /// portfolio outputs stay byte-identical. `num_anneal` > 0 appends
+  /// that many simulated-annealing candidates (mapper/anneal.hpp), each
+  /// chaining from the deterministic general-path mapping with its own
+  /// (seed, id)-derived move stream; `heft` appends the HEFT
+  /// critical-path list-scheduling candidate (mapper/list_schedule.hpp).
+  /// Extended candidates are appended AFTER the seeded variants, so
+  /// enabling them never renumbers the existing candidate ids.
+  int num_anneal = 0;
+  bool heft = false;
+  /// Chain length of each annealing candidate.
+  int anneal_iterations = 4000;
   /// Wall-clock deadline for the search, in milliseconds. 0 = no
   /// deadline. Candidate 0 (the exact single-shot pipeline) ALWAYS
   /// runs, so the search still returns a mapping; every other
@@ -71,6 +83,10 @@ struct PortfolioCandidate {
   MapStrategy strategy = MapStrategy::General;
   std::int64_t completion = 0;    ///< modelled completion time
   std::int64_t external_ipc = 0;  ///< multiplicity-weighted cross-proc volume
+  /// Maximum multiplicity-weighted per-processor exec load (the third
+  /// Pareto objective; deliberately NOT a table() column so the golden
+  /// candidate table stays byte-pinned).
+  std::int64_t max_load = 0;
   Mapping mapping;                ///< empty when !ok
   /// Wall-clock time the candidate's task spent running (or, for a
   /// skipped candidate, the elapsed search time at the moment the
@@ -117,6 +133,21 @@ struct PortfolioReport {
   /// candidate's per-phase cost breakdown, and the reason it won
   /// (tie-break level included). Deterministic unless `with_timing`.
   [[nodiscard]] std::string explain(bool with_timing = false) const;
+
+  /// Candidate ids on the Pareto front of (completion, external IPC,
+  /// max exec load), all minimised: a candidate is kept iff no other
+  /// feasible candidate is at least as good on every objective and
+  /// strictly better on one (among exact-triple ties only the lowest
+  /// id survives). Sorted by (completion, external IPC, max load, id);
+  /// deterministic.
+  [[nodiscard]] std::vector<int> pareto_front() const;
+
+  /// The Pareto front rendered as a fixed-width table (deterministic;
+  /// no timing). The portfolio winner is marked when it sits on the
+  /// front; when another candidate dominates it on max load, it is
+  /// appended as an explicitly-marked extra row instead, so the winner
+  /// is always visible.
+  [[nodiscard]] std::string pareto() const;
 };
 
 /// Portfolio search over a bare task graph: candidates are the

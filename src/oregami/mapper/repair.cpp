@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "oregami/arch/routes.hpp"
+#include "oregami/mapper/driver.hpp"
 #include "oregami/mapper/refine.hpp"
 #include "oregami/metrics/incremental.hpp"
+#include "oregami/support/deadline.hpp"
 #include "oregami/support/error.hpp"
 #include "oregami/support/trace.hpp"
 
@@ -28,61 +30,6 @@ std::string to_string(RepairRung rung) {
 }
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// Deadline tracker; a non-positive budget never consults the clock
-/// (<= -1 is "already expired", 0 is "no deadline"), keeping those
-/// modes bit-deterministic.
-struct Deadline {
-  explicit Deadline(std::int64_t budget_ms)
-      : mode(budget_ms == 0 ? Mode::None
-                            : budget_ms < 0 ? Mode::Expired : Mode::Timed),
-        at(Clock::now() + std::chrono::milliseconds(
-                              budget_ms > 0 ? budget_ms : 0)) {}
-
-  [[nodiscard]] bool passed() const {
-    switch (mode) {
-      case Mode::None:
-        return false;
-      case Mode::Expired:
-        return true;
-      case Mode::Timed:
-        return Clock::now() >= at;
-    }
-    return false;
-  }
-
-  enum class Mode { None, Expired, Timed };
-  Mode mode;
-  Clock::time_point at;
-};
-
-/// Same rebuild as the driver's (anonymous) helper: clusters are the
-/// occupied processors in ascending order, so the embedding is
-/// injective by construction.
-Mapping mapping_from_placement(const std::vector<int>& proc_of_task,
-                               std::vector<PhaseRouting> routing,
-                               int num_procs) {
-  std::vector<int> cluster_of_proc(static_cast<std::size_t>(num_procs), -1);
-  Mapping mapping;
-  for (const int p : proc_of_task) {
-    cluster_of_proc[static_cast<std::size_t>(p)] = 0;
-  }
-  for (int p = 0; p < num_procs; ++p) {
-    if (cluster_of_proc[static_cast<std::size_t>(p)] == 0) {
-      cluster_of_proc[static_cast<std::size_t>(p)] =
-          mapping.contraction.num_clusters++;
-      mapping.embedding.proc_of_cluster.push_back(p);
-    }
-  }
-  for (const int p : proc_of_task) {
-    mapping.contraction.cluster_of_task.push_back(
-        cluster_of_proc[static_cast<std::size_t>(p)]);
-  }
-  mapping.routing = std::move(routing);
-  return mapping;
-}
 
 /// Nearest healthy processor to `from` by base-topology hop distance
 /// (ties: lowest processor id; unreachable-in-base pairs sort last).

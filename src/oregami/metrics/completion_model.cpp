@@ -114,6 +114,45 @@ std::int64_t completion_time(const TaskGraph& graph,
               model);
 }
 
+PlacementObjectives extract_objectives(
+    const TaskGraph& graph, const std::vector<int>& proc_of_task,
+    const std::vector<PhaseRouting>& routing, const Topology& topo,
+    const CostModel& model) {
+  PlacementObjectives obj;
+  obj.completion =
+      completion_time(graph, proc_of_task, routing, topo, model);
+
+  const auto comm_mult = graph.comm_phase_multiplicity();
+  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+    std::int64_t phase_volume = 0;
+    for (const auto& e : graph.comm_phases()[k].edges) {
+      if (proc_of_task[static_cast<std::size_t>(e.src)] !=
+          proc_of_task[static_cast<std::size_t>(e.dst)]) {
+        phase_volume += e.volume;
+      }
+    }
+    obj.external_ipc += phase_volume * comm_mult[k];
+  }
+
+  const auto exec_mult = graph.exec_phase_multiplicity();
+  std::vector<std::int64_t> load(static_cast<std::size_t>(topo.num_procs()),
+                                 0);
+  for (std::size_t k = 0; k < graph.exec_phases().size(); ++k) {
+    const auto& phase = graph.exec_phases()[k];
+    if (exec_mult[k] <= 0 || phase.cost.empty()) {
+      continue;
+    }
+    for (int t = 0; t < graph.num_tasks(); ++t) {
+      load[static_cast<std::size_t>(
+          proc_of_task[static_cast<std::size_t>(t)])] +=
+          exec_mult[k] * phase.cost[static_cast<std::size_t>(t)];
+    }
+  }
+  obj.max_load =
+      load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  return obj;
+}
+
 namespace {
 
 /// comm_phase_time with each link's volume weighted by its slowdown.

@@ -48,6 +48,27 @@ struct CostModel {
     const std::vector<PhaseRouting>& routing, const Topology& topo,
     const CostModel& model = {});
 
+/// The three objectives the portfolio's Pareto report ranks a placement
+/// on. All are minimised; all are exact model quantities, so extraction
+/// is deterministic.
+struct PlacementObjectives {
+  /// Modelled completion time (completion_time()).
+  std::int64_t completion = 0;
+  /// Multiplicity-weighted communication volume crossing processor
+  /// boundaries (the METRICS total-IPC headline).
+  std::int64_t external_ipc = 0;
+  /// Maximum per-processor execution load, multiplicity-weighted and
+  /// summed over every exec phase (the load-balance objective).
+  std::int64_t max_load = 0;
+};
+
+/// Extracts all three objectives of a placement in one pass (shared by
+/// portfolio scoring and the Pareto report).
+[[nodiscard]] PlacementObjectives extract_objectives(
+    const TaskGraph& graph, const std::vector<int>& proc_of_task,
+    const std::vector<PhaseRouting>& routing, const Topology& topo,
+    const CostModel& model = {});
+
 /// completion_time() on the degraded machine: each link's serialised
 /// volume is multiplied by its slowdown factor, so the phase bottleneck
 /// is max over links of (volume * factor). Routes and placement are in

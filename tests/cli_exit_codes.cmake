@@ -20,6 +20,10 @@ expect_exit(0 --program jacobi --bind n=8 --bind iters=10
 expect_exit(0 --larcs ${SAMPLES}/wavefront.larcs --bind n=8
             --topology mesh:8x8)
 
+# 0: extended portfolio candidates + Pareto report.
+expect_exit(0 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --portfolio 2 --anneal 2 --heft --pareto)
+
 # 2: usage errors.
 expect_exit(2 --frobnicate)
 expect_exit(2)                                    # missing required args
@@ -27,6 +31,22 @@ expect_exit(2 --program jacobi)                   # no topology
 expect_exit(2 --program jacobi --topology mesh:4x4 --repair)  # no faults
 expect_exit(2 --program jacobi --topology mesh:4x4 --jobs -1)
 expect_exit(2 --program jacobi --topology mesh:4x4 --portfolio x)
+
+# 2: mutually-incompatible flag combos (each of these flags describes
+# or extends the portfolio search, so it is a usage error without
+# --portfolio N).
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --explain)
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --anneal 4)
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --heft)
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --pareto)
+expect_exit(2 --program jacobi --topology mesh:4x4 --portfolio 2
+            --anneal -1)
+expect_exit(2 --program jacobi --topology mesh:4x4 --portfolio 2
+            --anneal x)
 
 # 3: bad input.
 expect_exit(3 --larcs /nonexistent/file.larcs --topology mesh:4x4)

@@ -221,6 +221,7 @@ void expect_identical(const PortfolioReport& a, const PortfolioReport& b) {
     EXPECT_EQ(ca.note, cb.note);
     EXPECT_EQ(ca.completion, cb.completion);
     EXPECT_EQ(ca.external_ipc, cb.external_ipc);
+    EXPECT_EQ(ca.max_load, cb.max_load);
     if (!ca.ok) {
       continue;
     }
@@ -282,6 +283,149 @@ TEST(PortfolioDeterminism, IdenticalAcrossWorkerCounts) {
     ++tested;
   }
   EXPECT_EQ(tested, 5) << "catalog no longer contains the 5 pinned programs";
+}
+
+// Extension of the worker-count regression to the new candidate
+// families: with SA chains and the HEFT candidate enabled the whole
+// report -- including every annealed mapping -- must stay bit-identical
+// across --jobs 1 / 0 / 5. The SA chains run inside worker threads, so
+// this is the test that would catch any shared-state leak between a
+// candidate's private SplitMix64 stream and the scheduler.
+TEST(PortfolioDeterminism, ExtendedCandidatesIdenticalAcrossWorkerCounts) {
+  const std::vector<std::string> programs = {"nbody", "jacobi"};
+  const auto catalog = larcs::programs::catalog();
+  int tested = 0;
+  for (const auto& entry : catalog) {
+    bool selected = false;
+    for (const auto& name : programs) {
+      if (entry.name == name) {
+        selected = true;
+      }
+    }
+    if (!selected) {
+      continue;
+    }
+    SCOPED_TRACE(entry.name);
+    const auto c = compile_catalog(entry);
+    const Topology topo = Topology::mesh(4, 4);
+    PortfolioOptions serial;
+    serial.num_seeded = 6;
+    serial.num_anneal = 3;
+    serial.heft = true;
+    serial.jobs = 1;
+    PortfolioOptions wide = serial;
+    wide.jobs = 0;
+    PortfolioOptions oversubscribed = serial;
+    oversubscribed.jobs = 5;
+    const auto a = portfolio_map_program(c.ast, c.cp, topo, {}, serial);
+    const auto b = portfolio_map_program(c.ast, c.cp, topo, {}, wide);
+    const auto c3 =
+        portfolio_map_program(c.ast, c.cp, topo, {}, oversubscribed);
+    expect_identical(a, b);
+    expect_identical(a, c3);
+    // The Pareto report renders from candidate state only, so it must
+    // be byte-identical too.
+    EXPECT_EQ(a.pareto(), b.pareto());
+    EXPECT_EQ(a.pareto(), c3.pareto());
+    ++tested;
+  }
+  EXPECT_EQ(tested, 2) << "catalog no longer contains the pinned programs";
+}
+
+// Enabling the extended families appends candidates; it must never
+// renumber or relabel the existing ones (the golden ids depend on it).
+TEST(PortfolioDeterminism, ExtendedCandidatesOnlyAppend) {
+  const auto c = compile_catalog(larcs::programs::catalog().front());
+  const Topology topo = Topology::mesh(4, 4);
+  PortfolioOptions plain;
+  plain.num_seeded = 6;
+  PortfolioOptions extended = plain;
+  extended.num_anneal = 2;
+  extended.heft = true;
+  const auto a = portfolio_map_program(c.ast, c.cp, topo, {}, plain);
+  const auto b = portfolio_map_program(c.ast, c.cp, topo, {}, extended);
+  ASSERT_EQ(b.candidates.size(), a.candidates.size() + 3);
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(b.candidates[i].label, a.candidates[i].label);
+    EXPECT_EQ(b.candidates[i].completion, a.candidates[i].completion);
+  }
+}
+
+// --------------------------------------------------------- Pareto front
+
+TEST(PortfolioPareto, FrontIsMutuallyNonDominatedAndDeterministic) {
+  const auto c = compile_catalog(larcs::programs::catalog().front());
+  const Topology topo = Topology::mesh(4, 4);
+  PortfolioOptions popts;
+  popts.num_seeded = 6;
+  popts.num_anneal = 3;
+  popts.heft = true;
+  const auto result = portfolio_map_program(c.ast, c.cp, topo, {}, popts);
+  const std::vector<int> front = result.pareto_front();
+  ASSERT_FALSE(front.empty());
+  const auto member = [&](int id) -> const PortfolioCandidate& {
+    return result.candidates[static_cast<std::size_t>(id)];
+  };
+
+  // Front members are ok candidates and mutually non-dominated on
+  // (completion, external IPC, max exec load), all minimised.
+  for (const int ia : front) {
+    const auto& a = member(ia);
+    EXPECT_TRUE(a.ok);
+    for (const int ib : front) {
+      if (ia == ib) {
+        continue;
+      }
+      const auto& b = member(ib);
+      const bool no_worse = b.completion <= a.completion &&
+                            b.external_ipc <= a.external_ipc &&
+                            b.max_load <= a.max_load;
+      const bool strictly_better = b.completion < a.completion ||
+                                   b.external_ipc < a.external_ipc ||
+                                   b.max_load < a.max_load;
+      EXPECT_FALSE(no_worse && strictly_better)
+          << "candidate " << ib << " dominates front member " << ia;
+    }
+  }
+  // Every ok candidate NOT on the front is dominated by some member
+  // (exact-triple ties count as dominated by the lower id).
+  for (const auto& cand : result.candidates) {
+    if (!cand.ok) {
+      continue;
+    }
+    bool on_front = false;
+    for (const int ia : front) {
+      if (ia == cand.id) {
+        on_front = true;
+      }
+    }
+    if (on_front) {
+      continue;
+    }
+    bool dominated = false;
+    for (const int ia : front) {
+      const auto& a = member(ia);
+      const bool no_worse = a.completion <= cand.completion &&
+                            a.external_ipc <= cand.external_ipc &&
+                            a.max_load <= cand.max_load;
+      const bool strictly_better = a.completion < cand.completion ||
+                                   a.external_ipc < cand.external_ipc ||
+                                   a.max_load < cand.max_load ||
+                                   a.id < cand.id;
+      if (no_worse && strictly_better) {
+        dominated = true;
+      }
+    }
+    EXPECT_TRUE(dominated) << "candidate " << cand.id
+                           << " is neither on the front nor dominated";
+  }
+
+  // The rendered report is deterministic and always shows the winner.
+  const std::string report = result.pareto();
+  EXPECT_NE(report.find("Pareto front over"), std::string::npos);
+  EXPECT_NE(report.find("** best **"), std::string::npos);
+  const auto again = portfolio_map_program(c.ast, c.cp, topo, {}, popts);
+  EXPECT_EQ(again.pareto(), report);
 }
 
 // Golden regression: the winning candidate for the paper programs on a

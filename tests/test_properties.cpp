@@ -17,7 +17,10 @@
 
 #include "oregami/arch/routes.hpp"
 #include "oregami/arch/topology_spec.hpp"
+#include "oregami/mapper/anneal.hpp"
 #include "oregami/mapper/driver.hpp"
+#include "oregami/mapper/list_schedule.hpp"
+#include "oregami/mapper/mm_route.hpp"
 #include "oregami/mapper/mwm_contract.hpp"
 #include "oregami/mapper/refine.hpp"
 #include "oregami/metrics/incremental.hpp"
@@ -336,6 +339,222 @@ TEST(Properties, RefinePlacementNeverWorsensAndIsDeterministic) {
   SplitMix64 seeder(kBaseSeed ^ 0xEF12EULL);
   for (int i = 0; i < 80; ++i) {
     check_refine_placement_case(seeder.next_u64());
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+/// Differential harness over the candidate families: for each generated
+/// (graph, topology) instance run every placement family -- the MAPPER
+/// pipeline, placement refinement, simulated annealing, and the HEFT
+/// list scheduler -- and cross-check each one's own score against an
+/// independent full completion_time() re-score. Also asserts placement
+/// validity per family, the MWM load bound, and the SA apply/undo
+/// round-trip invariant (no improvement => bit-identical to the init).
+void check_candidate_families_case(std::uint64_t case_seed) {
+  SCOPED_TRACE("case seed " + std::to_string(case_seed));
+  SplitMix64 rng(case_seed);
+  const Topology topo = random_topology(rng);
+  const TaskGraph graph = random_task_graph(rng);
+
+  // Family 1: the MAPPER pipeline (contract/embed/route).
+  const MapperReport base = map_computation(graph, topo, {});
+  ASSERT_NO_THROW(validate_mapping(base.mapping, graph, topo));
+  const auto base_procs = base.mapping.proc_of_task();
+  const std::int64_t base_completion =
+      completion_time(graph, base_procs, base.mapping.routing, topo);
+
+  // MWM load bound holds for the aggregate contraction.
+  {
+    const Graph aggregate = graph.aggregate_graph();
+    const auto contract = mwm_contract(aggregate, topo.num_procs());
+    EXPECT_LE(contract.contraction.max_cluster_size(), contract.load_bound);
+  }
+
+  // Family 2: placement refinement. Its incremental bookkeeping must
+  // agree with the from-scratch model on the final state.
+  const PlacementRefineResult refined =
+      refine_placement(graph, topo, base_procs, base.mapping.routing);
+  EXPECT_LE(refined.completion_after, base_completion);
+  EXPECT_EQ(refined.completion_after,
+            completion_time(graph, refined.proc_of_task, refined.routing,
+                            topo));
+
+  // Family 3: simulated annealing from the base mapping.
+  AnnealOptions aopts;
+  aopts.iterations = 200;
+  aopts.seed = rng.next_u64();
+  const AnnealResult annealed = anneal_placement(
+      graph, topo, base_procs, base.mapping.routing, {}, aopts);
+  EXPECT_EQ(annealed.completion_before, base_completion);
+  EXPECT_LE(annealed.completion_after, annealed.completion_before);
+  // Differential: the incremental evaluator's final score equals a full
+  // completion-model re-score of the returned state.
+  ASSERT_EQ(annealed.completion_after,
+            completion_time(graph, annealed.proc_of_task, annealed.routing,
+                            topo));
+  for (const int p : annealed.proc_of_task) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, topo.num_procs());
+  }
+  // Every re-routed edge is still a connected walk.
+  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+    const auto& phase = graph.comm_phases()[k];
+    for (std::size_t i = 0; i < phase.edges.size(); ++i) {
+      const auto& e = phase.edges[i];
+      assert_connected_walk(
+          topo, annealed.routing[k].route_of_edge[i],
+          annealed.proc_of_task[static_cast<std::size_t>(e.src)],
+          annealed.proc_of_task[static_cast<std::size_t>(e.dst)]);
+    }
+  }
+  // Acceptance-with-undo: when no proposal strictly improved, the whole
+  // apply/undo chain must round-trip to the exact starting state.
+  if (annealed.completion_after == annealed.completion_before) {
+    EXPECT_EQ(annealed.proc_of_task, base_procs);
+  }
+
+  // Family 4: HEFT list schedule, routed with MM-Route and re-scored.
+  const ListScheduleResult heft = list_schedule(graph, topo);
+  ASSERT_EQ(heft.proc_of_task.size(),
+            static_cast<std::size_t>(graph.num_tasks()));
+  for (const int p : heft.proc_of_task) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, topo.num_procs());
+  }
+  const auto heft_routing = mm_route(graph, heft.proc_of_task, topo);
+  const std::int64_t heft_completion =
+      completion_time(graph, heft.proc_of_task, heft_routing, topo);
+  EXPECT_GE(heft_completion, 0);
+  // extract_objectives agrees with the standalone model on every family.
+  const PlacementObjectives obj = extract_objectives(
+      graph, heft.proc_of_task, heft_routing, topo);
+  EXPECT_EQ(obj.completion, heft_completion);
+  EXPECT_GE(obj.external_ipc, 0);
+  EXPECT_GE(obj.max_load, 0);
+}
+
+TEST(Properties, DifferentialCandidateFamilies) {
+  SplitMix64 seeder(kBaseSeed ^ 0xCAFD1FFULL);
+  for (int i = 0; i < 200; ++i) {
+    check_candidate_families_case(seeder.next_u64());
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+/// Applies a processor relabeling (an automorphism of the topology) to
+/// a placement + routing and returns the relabelled pair. Links are
+/// rebuilt from the relabelled node walk; the automorphism guarantees
+/// adjacency is preserved.
+std::pair<std::vector<int>, std::vector<PhaseRouting>> relabel(
+    const Topology& topo, const std::vector<int>& proc_of_task,
+    const std::vector<PhaseRouting>& routing,
+    const std::vector<int>& sigma) {
+  std::vector<int> procs(proc_of_task.size());
+  for (std::size_t t = 0; t < proc_of_task.size(); ++t) {
+    procs[t] = sigma[static_cast<std::size_t>(proc_of_task[t])];
+  }
+  std::vector<PhaseRouting> routed(routing.size());
+  for (std::size_t k = 0; k < routing.size(); ++k) {
+    routed[k].route_of_edge.resize(routing[k].route_of_edge.size());
+    for (std::size_t i = 0; i < routing[k].route_of_edge.size(); ++i) {
+      const Route& r = routing[k].route_of_edge[i];
+      Route& out = routed[k].route_of_edge[i];
+      out.nodes.reserve(r.nodes.size());
+      for (const int node : r.nodes) {
+        out.nodes.push_back(sigma[static_cast<std::size_t>(node)]);
+      }
+      for (std::size_t h = 0; h + 1 < out.nodes.size(); ++h) {
+        const auto link = topo.link_between(out.nodes[h], out.nodes[h + 1]);
+        if (!link.has_value()) {
+          ADD_FAILURE() << "relabeling broke adjacency between "
+                        << out.nodes[h] << " and " << out.nodes[h + 1];
+          return {procs, routed};
+        }
+        out.links.push_back(*link);
+      }
+    }
+  }
+  return {procs, routed};
+}
+
+/// Metamorphic relation: rotating every processor label of a ring (or
+/// one torus dimension) is a topology automorphism, so the completion
+/// score of ANY candidate's placement must be unchanged under it.
+void check_relabel_case(std::uint64_t case_seed, const Topology& topo,
+                        const std::vector<int>& sigma) {
+  SCOPED_TRACE("case seed " + std::to_string(case_seed));
+  SplitMix64 rng(case_seed);
+  const TaskGraph graph = random_task_graph(rng);
+
+  // Candidate placements from three different families.
+  const MapperReport base = map_computation(graph, topo, {});
+  AnnealOptions aopts;
+  aopts.iterations = 100;
+  aopts.seed = rng.next_u64();
+  const AnnealResult annealed =
+      anneal_placement(graph, topo, base.mapping.proc_of_task(),
+                       base.mapping.routing, {}, aopts);
+  const ListScheduleResult heft = list_schedule(graph, topo);
+  const auto heft_routing = mm_route(graph, heft.proc_of_task, topo);
+
+  const std::vector<std::pair<std::vector<int>, std::vector<PhaseRouting>>>
+      candidates = {
+          {base.mapping.proc_of_task(), base.mapping.routing},
+          {annealed.proc_of_task, annealed.routing},
+          {heft.proc_of_task, heft_routing},
+      };
+  for (const auto& [procs, routing] : candidates) {
+    const std::int64_t before = completion_time(graph, procs, routing, topo);
+    const auto [relabelled_procs, relabelled_routing] =
+        relabel(topo, procs, routing, sigma);
+    const std::int64_t after = completion_time(
+        graph, relabelled_procs, relabelled_routing, topo);
+    EXPECT_EQ(after, before);
+    // The full objective triple is invariant, not just completion.
+    const PlacementObjectives oa =
+        extract_objectives(graph, procs, routing, topo);
+    const PlacementObjectives ob = extract_objectives(
+        graph, relabelled_procs, relabelled_routing, topo);
+    EXPECT_EQ(ob.completion, oa.completion);
+    EXPECT_EQ(ob.external_ipc, oa.external_ipc);
+    EXPECT_EQ(ob.max_load, oa.max_load);
+  }
+}
+
+TEST(Properties, RingRelabelingLeavesScoresInvariant) {
+  const int p = 7;
+  const Topology topo = Topology::ring(p);
+  std::vector<int> sigma(static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    sigma[static_cast<std::size_t>(q)] = (q + 1) % p;
+  }
+  SplitMix64 seeder(kBaseSeed ^ 0x51BB0ULL);
+  for (int i = 0; i < 40; ++i) {
+    check_relabel_case(seeder.next_u64(), topo, sigma);
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(Properties, TorusRelabelingLeavesScoresInvariant) {
+  const int rows = 3;
+  const int cols = 4;
+  const Topology topo = parse_topology_spec("torus:3x4");
+  std::vector<int> sigma(static_cast<std::size_t>(rows * cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      sigma[static_cast<std::size_t>(r * cols + c)] =
+          r * cols + (c + 1) % cols;
+    }
+  }
+  SplitMix64 seeder(kBaseSeed ^ 0x70A05ULL);
+  for (int i = 0; i < 40; ++i) {
+    check_relabel_case(seeder.next_u64(), topo, sigma);
     if (HasFatalFailure()) {
       return;
     }

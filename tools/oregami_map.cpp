@@ -72,6 +72,7 @@ struct Options {
   std::optional<std::string> trace_file;
   bool trace_summary = false;
   bool explain = false;
+  bool pareto = false;
   MapperOptions mapper;
 };
 
@@ -98,6 +99,16 @@ int usage(const char* argv0) {
       << "  --jobs J               portfolio worker threads (0 = all\n"
       << "                         cores); never changes the result\n"
       << "  --seed S               portfolio base seed\n"
+      << "  --anneal N             add N seeded simulated-annealing\n"
+      << "                         candidates to the portfolio; requires\n"
+      << "                         --portfolio\n"
+      << "  --heft                 add the HEFT critical-path list-schedule\n"
+      << "                         candidate to the portfolio; requires\n"
+      << "                         --portfolio\n"
+      << "  --pareto               print the Pareto front over (completion,\n"
+      << "                         external IPC, max exec load) instead of\n"
+      << "                         only the scalar winner; requires\n"
+      << "                         --portfolio\n"
       << "  --time-budget MS       wall-clock deadline in milliseconds for\n"
       << "                         portfolio search and repair (0 = none)\n"
       << "  --inject-faults SPEC   degrade the machine before mapping;\n"
@@ -204,8 +215,13 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.trace_summary = true;
     } else if (arg == "--explain") {
       options.explain = true;
-    } else if (arg == "--portfolio" || arg == "--jobs" || arg == "--seed" ||
-               arg == "--fault-seed" || arg == "--time-budget") {
+    } else if (arg == "--heft") {
+      options.mapper.heft = true;
+    } else if (arg == "--pareto") {
+      options.pareto = true;
+    } else if (arg == "--portfolio" || arg == "--anneal" || arg == "--jobs" ||
+               arg == "--seed" || arg == "--fault-seed" ||
+               arg == "--time-budget") {
       const auto v = next();
       if (!v) {
         return std::nullopt;
@@ -213,6 +229,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       try {
         if (arg == "--portfolio") {
           options.mapper.portfolio = std::stoi(*v);
+        } else if (arg == "--anneal") {
+          options.mapper.anneal = std::stoi(*v);
         } else if (arg == "--jobs") {
           options.mapper.jobs = std::stoi(*v);
         } else if (arg == "--seed") {
@@ -228,6 +246,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
       }
       if (arg == "--portfolio" && options.mapper.portfolio < 0) {
         std::cerr << "--portfolio expects N >= 0\n";
+        return std::nullopt;
+      }
+      if (arg == "--anneal" && options.mapper.anneal < 0) {
+        std::cerr << "--anneal expects N >= 0\n";
         return std::nullopt;
       }
       if (arg == "--jobs" && options.mapper.jobs < 0) {
@@ -263,6 +285,7 @@ int map_and_report(const Options& options, const larcs::Program& ast,
     MapperReport report;
     std::string portfolio_table;
     std::string provenance;
+    std::string pareto_front;
     if (mapper.portfolio > 0 && mapper.faults == nullptr) {
       PortfolioOptions popts = portfolio_options_from(mapper);
       popts.time_budget_ms = options.time_budget_ms;
@@ -273,6 +296,9 @@ int map_and_report(const Options& options, const larcs::Program& ast,
       portfolio_table = pf.timed_table();
       if (options.explain) {
         provenance = pf.explain();
+      }
+      if (options.pareto) {
+        pareto_front = pf.pareto();
       }
       report = pf.best;
     } else {
@@ -297,6 +323,9 @@ int map_and_report(const Options& options, const larcs::Program& ast,
       std::cout << provenance << "\n";
     } else if (!portfolio_table.empty()) {
       std::cout << "portfolio candidates:\n" << portfolio_table << "\n";
+    }
+    if (!pareto_front.empty()) {
+      std::cout << pareto_front << "\n";
     }
 
     // Repair path: the mapping above is the healthy one; repair it onto
@@ -481,6 +510,21 @@ int main(int argc, char** argv) {
     if (options.explain && options.mapper.portfolio <= 0) {
       std::cerr << "--explain requires --portfolio N (the provenance "
                    "report describes the portfolio decision)\n";
+      return usage(argv[0]);
+    }
+    if (options.mapper.anneal > 0 && options.mapper.portfolio <= 0) {
+      std::cerr << "--anneal requires --portfolio N (annealing runs as a "
+                   "portfolio candidate)\n";
+      return usage(argv[0]);
+    }
+    if (options.mapper.heft && options.mapper.portfolio <= 0) {
+      std::cerr << "--heft requires --portfolio N (the list scheduler runs "
+                   "as a portfolio candidate)\n";
+      return usage(argv[0]);
+    }
+    if (options.pareto && options.mapper.portfolio <= 0) {
+      std::cerr << "--pareto requires --portfolio N (the front ranks the "
+                   "portfolio candidates)\n";
       return usage(argv[0]);
     }
     if (options.trace_file || options.trace_summary) {
