@@ -1,0 +1,155 @@
+// Size-sweep evidence for the multilevel V-cycle mapper: 2D stencil
+// task graphs of 1k / 10k / 100k tasks mapped onto torus:64x64,
+// multilevel vs the flat baseline (seeded random placement + greedy
+// routes + refine_placement). Prints the sweep table and merges the
+// "multilevel_*" series into the shared BENCH_mapper.json.
+//
+// The 100k row takes minutes on the flat side (that is the point), so
+// it only runs with OREGAMI_BENCH_FULL=1 in the environment; the
+// committed BENCH_mapper.json carries the full-sweep numbers, and
+// JsonReport::load() keeps them when the smoke run refreshes the small
+// rows.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.hpp"
+#include "oregami/arch/routes.hpp"
+#include "oregami/core/csr_graph.hpp"
+#include "oregami/core/synthetic.hpp"
+#include "oregami/mapper/multilevel.hpp"
+#include "oregami/mapper/refine.hpp"
+#include "oregami/metrics/completion_model.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+constexpr std::uint64_t kSeed = 0x5CA1EULL;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<PhaseRouting> greedy_routing(const TaskGraph& graph,
+                                         const Topology& topo,
+                                         const std::vector<int>& procs) {
+  std::vector<PhaseRouting> routing(graph.comm_phases().size());
+  for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+    const auto& edges = graph.comm_phases()[k].edges;
+    routing[k].route_of_edge.reserve(edges.size());
+    for (const CommEdge& e : edges) {
+      routing[k].route_of_edge.push_back(greedy_shortest_route(
+          topo, procs[static_cast<std::size_t>(e.src)],
+          procs[static_cast<std::size_t>(e.dst)]));
+    }
+  }
+  return routing;
+}
+
+void run_size(const std::string& label, int rows, int cols,
+              const Topology& topo, TextTable& table,
+              bench::JsonReport& json) {
+  const TaskGraph graph = make_stencil2d(rows, cols, kSeed);
+  const int n = graph.num_tasks();
+
+  // Multilevel V-cycle.
+  const auto t_ml = std::chrono::steady_clock::now();
+  MultilevelOptions ml;
+  ml.jobs = 1;
+  const MapperReport report = map_multilevel(graph, topo, ml);
+  const double ml_s = seconds_since(t_ml);
+  const std::vector<int> ml_procs = report.mapping.proc_of_task();
+  const std::int64_t ml_completion =
+      completion_time(graph, ml_procs, report.mapping.routing, topo);
+
+  // Flat baseline: seeded random placement + greedy routes +
+  // refine_placement (the PR-2 sweep, no coarsening).
+  SplitMix64 rng(kSeed);
+  std::vector<int> flat_procs(static_cast<std::size_t>(n));
+  for (int& p : flat_procs) {
+    p = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(topo.num_procs())));
+  }
+  const auto t_flat = std::chrono::steady_clock::now();
+  const PlacementRefineResult flat = refine_placement(
+      graph, topo, flat_procs, greedy_routing(graph, topo, flat_procs));
+  const double flat_s = seconds_since(t_flat);
+
+  const double speedup = ml_s > 0.0 ? flat_s / ml_s : 0.0;
+  char ml_ms[32];
+  char flat_ms[32];
+  char sp[32];
+  std::snprintf(ml_ms, sizeof(ml_ms), "%.0f", ml_s * 1e3);
+  std::snprintf(flat_ms, sizeof(flat_ms), "%.0f", flat_s * 1e3);
+  std::snprintf(sp, sizeof(sp), "%.1fx", speedup);
+  table.add_row({label, std::to_string(n), std::to_string(ml_completion),
+                 ml_ms, std::to_string(flat.completion_after), flat_ms, sp});
+
+  json.add("multilevel_" + label + "_completion_multilevel",
+           static_cast<double>(ml_completion), "model");
+  json.add("multilevel_" + label + "_time_multilevel", ml_s * 1e3, "ms");
+  json.add("multilevel_" + label + "_completion_flat",
+           static_cast<double>(flat.completion_after), "model");
+  json.add("multilevel_" + label + "_time_flat", flat_s * 1e3, "ms");
+  json.add("multilevel_" + label + "_speedup", speedup, "x");
+}
+
+void print_figures_and_json() {
+  bench::print_header(
+      "size sweep on torus:64x64: multilevel V-cycle vs flat "
+      "refine_placement from random start");
+  const Topology topo = Topology::torus(64, 64);
+  bench::JsonReport json("BENCH_mapper.json");
+  json.load();  // shared with the other mapper benches
+
+  TextTable table({"size", "tasks", "ml completion", "ml ms",
+                   "flat completion", "flat ms", "speedup"});
+  run_size("1k", 32, 32, topo, table, json);
+  run_size("10k", 100, 100, topo, table, json);
+  if (const char* full = std::getenv("OREGAMI_BENCH_FULL");
+      full != nullptr && full[0] == '1') {
+    run_size("100k", 316, 316, topo, table, json);
+  } else {
+    std::printf(
+        "(100k row skipped; set OREGAMI_BENCH_FULL=1 to run the full "
+        "sweep — the committed numbers stay in BENCH_mapper.json)\n");
+  }
+  std::printf("%s", table.to_string().c_str());
+  json.write();
+}
+
+void BM_Coarsen10k(benchmark::State& state) {
+  const TaskGraph graph = make_stencil2d(100, 100, kSeed);
+  const CsrTaskGraph csr = CsrTaskGraph::from_task_graph(graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsen_heavy_edge(csr, kSeed, 4096));
+  }
+}
+BENCHMARK(BM_Coarsen10k);
+
+void BM_Multilevel10kTorus64(benchmark::State& state) {
+  const TaskGraph graph = make_stencil2d(100, 100, kSeed);
+  const Topology topo = Topology::torus(64, 64);
+  MultilevelOptions ml;
+  ml.jobs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_multilevel(graph, topo, ml));
+  }
+}
+BENCHMARK(BM_Multilevel10kTorus64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures_and_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Seeded synthetic large-graph generators for the multilevel mapper's
+// scale work: 2D/3D stencils (the regular-communication workload the
+// torus targets were built for), random geometric graphs (irregular
+// meshes), and power-law graphs (the skewed-degree worst case). These
+// produce 10k-500k-task inputs that the LaRCS program library cannot
+// (its programs are paper-scale); benches, scale tests, and property
+// suites all share them.
+//
+// Every generator emits one comm phase + one exec phase with an Idle
+// phase expression (each runs once), seeded volumes in [1, 16] and
+// costs in [1, 32]. Fixed (shape, seed) => bit-identical graph.
+#pragma once
+
+#include <cstdint>
+
+#include "oregami/core/task_graph.hpp"
+
+namespace oregami {
+
+/// 5-point 2D stencil on a rows x cols grid (no wraparound):
+/// rows*cols tasks, edges to the +1 neighbor along each axis.
+[[nodiscard]] TaskGraph make_stencil2d(int rows, int cols,
+                                       std::uint64_t seed);
+
+/// 7-point 3D stencil on an nx x ny x nz grid (no wraparound).
+[[nodiscard]] TaskGraph make_stencil3d(int nx, int ny, int nz,
+                                       std::uint64_t seed);
+
+/// Random geometric graph: n points uniform in the unit square, edges
+/// between pairs closer than `radius`. Built with a cell grid of side
+/// `radius`, so construction is O(n + edges), not O(n^2). Radius around
+/// 1.5/sqrt(n) gives average degree ~7.
+[[nodiscard]] TaskGraph make_random_geometric(int n, double radius,
+                                              std::uint64_t seed);
+
+/// Power-law graph by preferential attachment: each new vertex draws
+/// `edges_per_vertex` targets from the repeated-endpoint list (degree-
+/// proportional sampling), duplicates collapse.
+[[nodiscard]] TaskGraph make_power_law(int n, int edges_per_vertex,
+                                       std::uint64_t seed);
+
+}  // namespace oregami

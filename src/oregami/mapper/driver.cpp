@@ -6,6 +6,7 @@
 #include "oregami/core/recognize.hpp"
 #include "oregami/mapper/canned.hpp"
 #include "oregami/mapper/group_contract.hpp"
+#include "oregami/mapper/multilevel.hpp"
 #include "oregami/mapper/mwm_contract.hpp"
 #include "oregami/mapper/nn_embed.hpp"
 #include "oregami/mapper/portfolio.hpp"
@@ -30,9 +31,24 @@ std::string to_string(MapStrategy strategy) {
       return "simulated annealing";
     case MapStrategy::ListSchedule:
       return "HEFT list schedule";
+    case MapStrategy::Multilevel:
+      return "multilevel V-cycle";
   }
   return "?";
 }
+
+namespace {
+
+MultilevelOptions multilevel_options_from(const MapperOptions& options) {
+  MultilevelOptions ml;
+  ml.max_levels = options.multilevel > 0 ? options.multilevel : 0;
+  ml.jobs = options.jobs;
+  ml.seed = options.portfolio_seed;
+  ml.time_budget_ms = options.multilevel_budget_ms;
+  return ml;
+}
+
+}  // namespace
 
 Mapping mapping_from_placement(const std::vector<int>& proc_of_task,
                                std::vector<PhaseRouting> routing,
@@ -348,6 +364,9 @@ MapperReport map_computation(const TaskGraph& graph, const Topology& topo,
     return map_degraded(graph, *options.faults, topo, options, nullptr,
                         nullptr);
   }
+  if (options.multilevel != 0) {
+    return map_multilevel(graph, topo, multilevel_options_from(options));
+  }
   if (options.portfolio > 0) {
     return portfolio_map_computation(graph, topo, options,
                                      portfolio_options_from(options))
@@ -380,6 +399,11 @@ MapperReport map_program(const larcs::Program& program,
   if (options.faults != nullptr && !options.faults->spec().empty()) {
     return map_degraded(graph, *options.faults, topo, options, &program,
                         &compiled);
+  }
+  if (options.multilevel != 0) {
+    // Large-graph path: the systolic/canned recognisers are built for
+    // paper-scale structure; the V-cycle takes over the whole pipeline.
+    return map_multilevel(graph, topo, multilevel_options_from(options));
   }
   if (options.portfolio > 0) {
     return portfolio_map_program(program, compiled, topo, options,

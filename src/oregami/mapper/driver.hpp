@@ -32,6 +32,7 @@ enum class MapStrategy {
   General,       ///< MWM-Contract + NN-Embed
   Anneal,        ///< simulated annealing over placements (portfolio only)
   ListSchedule,  ///< HEFT critical-path list scheduling (portfolio only)
+  Multilevel,    ///< coarsen/map/refine V-cycle for large graphs
 };
 
 [[nodiscard]] std::string to_string(MapStrategy strategy);
@@ -64,7 +65,19 @@ struct MapperOptions {
   /// (mapper/list_schedule.hpp). Both are ignored when portfolio == 0.
   int anneal = 0;
   bool heft = false;
-  int jobs = 1;  ///< portfolio workers; 0 = hardware_concurrency
+  /// Multilevel V-cycle mapper (mapper/multilevel.hpp) for large
+  /// graphs: 0 = off (default, keeping every existing output
+  /// byte-identical), < 0 = on with automatic coarsening depth, > 0 =
+  /// on with that many coarsening levels at most. When on it replaces
+  /// the whole Fig-3 decision tree (and the portfolio); the degraded-
+  /// mode redirect still composes — faults are applied first, then the
+  /// V-cycle runs on the healthy sub-topology.
+  int multilevel = 0;
+  /// Wall-clock budget for the multilevel refinement sweeps
+  /// (support/deadline.hpp idiom; 0 = none). Ignored when
+  /// `multilevel` == 0.
+  std::int64_t multilevel_budget_ms = 0;
+  int jobs = 1;  ///< portfolio/multilevel workers; 0 = hardware_concurrency
   std::uint64_t portfolio_seed = 0x09E6A311u;  ///< candidate RNG base seed
   /// Degraded-mode mapping (not owned; must outlive the call). When set
   /// with a non-empty FaultSpec, map_computation/map_program run the

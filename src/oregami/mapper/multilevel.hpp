@@ -1,0 +1,68 @@
+// Multilevel V-cycle mapper for production-scale task graphs
+// (10k-1M tasks), after Glantz/Meyerhenke/Noe's recipe for grid/torus
+// targets: coarsen -> map the small graph well -> project back up,
+// refining at every level.
+//
+//   1. COARSEN: repeated seeded heavy-edge matching
+//      (core/csr_graph.hpp) folds comm volumes and exec costs into
+//      super-tasks until at most one super-task per processor remains,
+//      recording each level's projection map.
+//   2. INITIAL MAP: the coarsest graph (<= P super-tasks) is embedded
+//      with the seed pipeline's NN-Embed; at that size the paper-scale
+//      machinery is fast and good.
+//   3. UNCOARSEN + REFINE: project the placement down one level at a
+//      time; at each level run boundary-focused refinement sweeps --
+//      only tasks with a neighbor on another processor are candidates.
+//      Candidate gains are estimated in parallel over the `ThreadPool`
+//      from a frozen placement (CSR scans + the O(1) distance oracle),
+//      then committed serially in ascending task order, each re-probed
+//      exactly with `IncrementalCompletion::delta_move` and applied
+//      only when strictly improving.
+//
+// Determinism contract (same as the portfolio's): proposals are pure
+// functions of the frozen placement and are collected in submission
+// order, commits are serial and ordered, and all randomness flows from
+// `seed` through per-level SplitMix64 streams -- so the result is
+// bit-identical across `jobs` values.
+#pragma once
+
+#include <cstdint>
+
+#include "oregami/mapper/driver.hpp"
+#include "oregami/metrics/completion_model.hpp"
+
+namespace oregami {
+
+struct MultilevelOptions {
+  /// Maximum number of coarsening levels; <= 0 means "auto": coarsen
+  /// until the graph has at most one super-task per processor (or
+  /// matching stalls). A small positive cap yields a shallower cycle
+  /// with more refinement work per level.
+  int max_levels = 0;
+  /// Boundary-refinement sweeps per level. Each sweep proposes in
+  /// parallel and commits serially; a sweep that commits no move ends
+  /// the level early.
+  int refine_rounds = 2;
+  /// Proposal workers; 0 = hardware_concurrency. Never affects the
+  /// result, only wall time.
+  int jobs = 1;
+  /// Base seed for the coarsening shuffles and the coarsest NN-Embed
+  /// tie-breaks (level k uses seed + k).
+  std::uint64_t seed = 0x09E6A311u;
+  /// Wall-clock budget (support/deadline.hpp idiom: 0 = none, < 0 =
+  /// already expired). Checked between levels and sweeps; on expiry
+  /// remaining refinement is skipped but the projected placement is
+  /// still returned, so the mapping is always valid.
+  std::int64_t time_budget_ms = 0;
+  CostModel model;
+};
+
+/// Maps `graph` onto `topo` with the multilevel V-cycle. Works for any
+/// graph size but pays off above a few thousand tasks; below that the
+/// direct pipeline explores more. Throws MappingError for an empty
+/// graph or a topology without links.
+[[nodiscard]] MapperReport map_multilevel(const TaskGraph& graph,
+                                          const Topology& topo,
+                                          const MultilevelOptions& options = {});
+
+}  // namespace oregami

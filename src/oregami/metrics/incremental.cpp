@@ -64,11 +64,11 @@ IncrementalCompletion::IncrementalCompletion(
         state.volume[static_cast<std::size_t>(link)] +=
             edge.volume * link_weight(link);
       }
-      if (static_cast<int>(state.hops_hist.size()) <= route.hops()) {
-        state.hops_hist.resize(static_cast<std::size_t>(route.hops()) + 1,
-                               0);
+      const int hb = hop_bucket(route.hops());
+      if (static_cast<int>(state.hops_hist.size()) <= hb) {
+        state.hops_hist.resize(static_cast<std::size_t>(hb) + 1, 0);
       }
-      ++state.hops_hist[static_cast<std::size_t>(route.hops())];
+      ++state.hops_hist[static_cast<std::size_t>(hb)];
       incident_[static_cast<std::size_t>(edge.src)].push_back(
           {static_cast<int>(k), static_cast<int>(i)});
       if (edge.dst != edge.src) {
@@ -318,7 +318,8 @@ std::int64_t IncrementalCompletion::delta_move(int task, int to_proc) const {
       for (const int link : old_route.links) {
         touch(link, -edge.volume * link_weight(link));
       }
-      --hops_scratch_[static_cast<std::size_t>(old_route.hops())];
+      --hops_scratch_[static_cast<std::size_t>(
+          hop_bucket(old_route.hops()))];
       const int src_task = edge.src;
       const int dst_task = edge.dst;
       const int src =
@@ -354,10 +355,11 @@ std::int64_t IncrementalCompletion::delta_move(int task, int to_proc) const {
           current = next;
         }
       }
-      if (static_cast<int>(hops_scratch_.size()) <= new_hops) {
-        hops_scratch_.resize(static_cast<std::size_t>(new_hops) + 1, 0);
+      const int hb = hop_bucket(new_hops);
+      if (static_cast<int>(hops_scratch_.size()) <= hb) {
+        hops_scratch_.resize(static_cast<std::size_t>(hb) + 1, 0);
       }
-      ++hops_scratch_[static_cast<std::size_t>(new_hops)];
+      ++hops_scratch_[static_cast<std::size_t>(hb)];
     }
 
     int new_max_hops = 0;
@@ -441,17 +443,18 @@ void IncrementalCompletion::place_task(
       state.volume[static_cast<std::size_t>(link)] -=
           edge.volume * link_weight(link);
     }
-    --state.hops_hist[static_cast<std::size_t>(slot.hops())];
+    --state.hops_hist[static_cast<std::size_t>(hop_bucket(slot.hops()))];
     slot = forced_routes != nullptr ? (*forced_routes)[j]
                                     : route_for(k, i);
     for (const int link : slot.links) {
       state.volume[static_cast<std::size_t>(link)] +=
           edge.volume * link_weight(link);
     }
-    if (static_cast<int>(state.hops_hist.size()) <= slot.hops()) {
-      state.hops_hist.resize(static_cast<std::size_t>(slot.hops()) + 1, 0);
+    const int hb = hop_bucket(slot.hops());
+    if (static_cast<int>(state.hops_hist.size()) <= hb) {
+      state.hops_hist.resize(static_cast<std::size_t>(hb) + 1, 0);
     }
-    ++state.hops_hist[static_cast<std::size_t>(slot.hops())];
+    ++state.hops_hist[static_cast<std::size_t>(hb)];
   }
   // Refresh the maxima of each affected phase exactly once.
   for (std::size_t j = 0; j < incident.size(); ++j) {

@@ -43,6 +43,26 @@ struct CommPhaseSnapshot {
 
 class IncrementalCompletion {
  public:
+  /// Hop-histogram bucket cap: bucket h counts routes of exactly h
+  /// hops for h < kHopHistCap - 1; the final bucket aggregates every
+  /// longer route, and max_hops saturates there. Exact for any
+  /// topology whose diameter is below the cap — i.e. every built-in
+  /// regular family up to ~half a million processors (a torus needs
+  /// 1024x1024 before a shortest route reaches 1024 hops).
+  ///
+  /// Memory bound (exact, the reason the cap exists): per comm phase
+  /// the evaluator keeps one 64-bit counter per link plus at most
+  /// kHopHistCap histogram buckets; per exec phase one 64-bit load per
+  /// processor; plus the incident-edge index. Total resident state is
+  ///   O(K_comm * (num_links + kHopHistCap) + K_exec * num_procs
+  ///     + num_tasks + total_comm_edges)
+  /// — linear in the machine and the graph, no P^2 term, independent
+  /// of route lengths. On torus:64x64 (P = 4096, L = 8192) a comm
+  /// phase costs 64 KiB of link counters + at most 8 KiB of histogram.
+  /// Probe scratch is one O(num_links) dense array (zeroed after each
+  /// probe) plus vectors linear in the links a move actually touches.
+  static constexpr int kHopHistCap = 1024;
+
   /// Takes ownership of a task-level placement and its routing (e.g.
   /// Mapping::proc_of_task() + Mapping::routing). Requires every comm
   /// volume and exec cost to be non-negative (the cost model's domain).
@@ -139,6 +159,13 @@ class IncrementalCompletion {
       const std::vector<std::int64_t>& exec_times) const;
   void place_task(int task, int to_proc,
                   const std::vector<Route>* forced_routes);
+
+  /// Histogram index of a route length under the kHopHistCap bucket
+  /// scheme. Used symmetrically on increment and decrement, so
+  /// apply/undo round-trips stay exact even in the saturated bucket.
+  [[nodiscard]] static int hop_bucket(int hops) {
+    return hops < kHopHistCap ? hops : kHopHistCap - 1;
+  }
 
   [[nodiscard]] std::int64_t link_weight(int link) const {
     return link_factor_.empty()

@@ -24,6 +24,12 @@ expect_exit(0 --larcs ${SAMPLES}/wavefront.larcs --bind n=8
 expect_exit(0 --program jacobi --bind n=8 --bind iters=10
             --topology mesh:4x4 --portfolio 2 --anneal 2 --heft --pareto)
 
+# 0: multilevel V-cycle, auto depth and explicit level cap.
+expect_exit(0 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --multilevel)
+expect_exit(0 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --multilevel 2)
+
 # 2: usage errors.
 expect_exit(2 --frobnicate)
 expect_exit(2)                                    # missing required args
@@ -47,6 +53,17 @@ expect_exit(2 --program jacobi --topology mesh:4x4 --portfolio 2
             --anneal -1)
 expect_exit(2 --program jacobi --topology mesh:4x4 --portfolio 2
             --anneal x)
+
+# 2: multilevel usage errors (bad level cap; portfolio conflict --
+# both flags claim the whole strategy selection).
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --multilevel 0)
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --multilevel -3)
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --multilevel 99)
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --multilevel --portfolio 4)
 
 # 3: bad input.
 expect_exit(3 --larcs /nonexistent/file.larcs --topology mesh:4x4)

@@ -1,0 +1,22 @@
+# Byte-identity guard for the default CLI output: with --multilevel
+# (and every other opt-in flag) off, oregami_map must print exactly
+# what the seed printed — new strategies may not perturb the default
+# path even by a byte. Run via:
+#   cmake -DOREGAMI_MAP=... -DGOLDEN=... -DOUTPUT=... -P golden_output.cmake
+execute_process(
+  COMMAND ${OREGAMI_MAP} --program nbody --bind n=15 --bind s=4 --bind m=8
+          --topology mesh:4x4
+  OUTPUT_FILE ${OUTPUT}
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "oregami_map exited ${code} on the golden arguments")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUTPUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "default oregami_map output drifted from ${GOLDEN}; if the "
+          "change is intentional, regenerate the golden file and call "
+          "it out in the PR")
+endif()

@@ -175,6 +175,65 @@ TEST(MappingIo, TruncationAtEveryTokenIsALocatedError) {
   EXPECT_GT(cuts, 20);
 }
 
+TEST(MappingIo, LargeFileRoundTrips) {
+  // 120k tasks / 4096 procs / 150k routed edges -- the size class the
+  // multilevel mapper emits. Exercises the buffered writer's flush
+  // blocks and the reader's capped reserves; must round-trip exactly
+  // and stay a textual fixpoint.
+  constexpr int kTasks = 120'000;
+  constexpr int kProcs = 4096;
+  constexpr int kEdges = 150'000;
+  Mapping mapping;
+  mapping.contraction.num_clusters = kProcs;
+  mapping.contraction.cluster_of_task.resize(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    mapping.contraction.cluster_of_task[static_cast<std::size_t>(t)] =
+        t % kProcs;
+  }
+  mapping.embedding.proc_of_cluster.resize(kProcs);
+  for (int c = 0; c < kProcs; ++c) {
+    mapping.embedding.proc_of_cluster[static_cast<std::size_t>(c)] =
+        (c * 31 + 7) % kProcs;  // a permutation (31 coprime to 4096)
+  }
+  PhaseRouting phase;
+  phase.route_of_edge.reserve(kEdges);
+  for (int i = 0; i < kEdges; ++i) {
+    Route route;
+    const int a = i % kProcs;
+    const int b = (i * 7 + 1) % kProcs;
+    route.nodes = {a, b};
+    route.links = {(a * 2 + b) % (kProcs * 2)};
+    if (i % 3 == 0) {  // some longer routes
+      const int c = (i * 13 + 5) % kProcs;
+      route.nodes.push_back(c);
+      route.links.push_back((b * 2 + c) % (kProcs * 2));
+    }
+    phase.route_of_edge.push_back(std::move(route));
+  }
+  mapping.routing.push_back(std::move(phase));
+
+  const auto text = mapping_to_string(mapping, kProcs);
+  EXPECT_GT(text.size(), 1'000'000u);  // genuinely a multi-MB file
+  int procs = 0;
+  const Mapping loaded = mapping_from_string(text, &procs);
+  EXPECT_EQ(procs, kProcs);
+  EXPECT_EQ(loaded.contraction.cluster_of_task,
+            mapping.contraction.cluster_of_task);
+  EXPECT_EQ(loaded.embedding.proc_of_cluster,
+            mapping.embedding.proc_of_cluster);
+  ASSERT_EQ(loaded.routing.size(), 1u);
+  ASSERT_EQ(loaded.routing[0].route_of_edge.size(),
+            mapping.routing[0].route_of_edge.size());
+  for (std::size_t i = 0; i < loaded.routing[0].route_of_edge.size();
+       i += 997) {  // spot-check every ~1000th route
+    EXPECT_EQ(loaded.routing[0].route_of_edge[i].nodes,
+              mapping.routing[0].route_of_edge[i].nodes);
+    EXPECT_EQ(loaded.routing[0].route_of_edge[i].links,
+              mapping.routing[0].route_of_edge[i].links);
+  }
+  EXPECT_EQ(mapping_to_string(loaded, kProcs), text);
+}
+
 TEST(MappingIo, RandomByteCorruptionNeverCrashes) {
   // Flip / delete / insert bytes all over the serialised mapping; the
   // reader must either round-trip-equal or throw MappingError.

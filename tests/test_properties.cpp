@@ -17,6 +17,8 @@
 
 #include "oregami/arch/routes.hpp"
 #include "oregami/arch/topology_spec.hpp"
+#include "oregami/core/csr_graph.hpp"
+#include "oregami/core/synthetic.hpp"
 #include "oregami/mapper/anneal.hpp"
 #include "oregami/mapper/driver.hpp"
 #include "oregami/mapper/list_schedule.hpp"
@@ -555,6 +557,126 @@ TEST(Properties, TorusRelabelingLeavesScoresInvariant) {
   SplitMix64 seeder(kBaseSeed ^ 0x70A05ULL);
   for (int i = 0; i < 40; ++i) {
     check_relabel_case(seeder.next_u64(), topo, sigma);
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+/// Checks every coarsening invariant for one fine graph / seed pair,
+/// walking a full V-cycle's coarsening side (halve until <= 2 or
+/// stall). Reports the number of levels built via `levels_out`.
+void check_coarsen_case(const TaskGraph& graph, std::uint64_t seed,
+                        int* levels_out = nullptr) {
+  CsrTaskGraph fine = CsrTaskGraph::from_task_graph(graph);
+  int levels = 0;
+  while (fine.num_vertices() > 2) {
+    const int target = std::max(2, fine.num_vertices() / 2);
+    const CoarsenResult step = coarsen_heavy_edge(fine, seed + levels,
+                                                  target);
+    const CsrTaskGraph& coarse = step.coarse;
+    // Comm volume is conserved: every undirected edge either survives
+    // (possibly merged) or is internalized, never dropped.
+    ASSERT_EQ(coarse.total_edge_weight + step.internalized_weight,
+              fine.total_edge_weight);
+    // Exec cost is conserved exactly.
+    ASSERT_EQ(coarse.total_vertex_weight, fine.total_vertex_weight);
+    // Projection maps onto the super-tasks: surjective, and each
+    // super-task is a matching pair or a singleton (1-2 fine vertices).
+    ASSERT_EQ(step.coarse_of_fine.size(),
+              static_cast<std::size_t>(fine.num_vertices()));
+    std::vector<int> members(
+        static_cast<std::size_t>(coarse.num_vertices()), 0);
+    std::vector<std::int64_t> folded_weight(
+        static_cast<std::size_t>(coarse.num_vertices()), 0);
+    for (int v = 0; v < fine.num_vertices(); ++v) {
+      const int c = step.coarse_of_fine[static_cast<std::size_t>(v)];
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, coarse.num_vertices());
+      ++members[static_cast<std::size_t>(c)];
+      folded_weight[static_cast<std::size_t>(c)] +=
+          fine.vertex_weight[static_cast<std::size_t>(v)];
+    }
+    for (int c = 0; c < coarse.num_vertices(); ++c) {
+      ASSERT_GE(members[static_cast<std::size_t>(c)], 1);
+      ASSERT_LE(members[static_cast<std::size_t>(c)], 2);
+      // Per-super-task cost equals the sum of its members' costs.
+      ASSERT_EQ(coarse.vertex_weight[static_cast<std::size_t>(c)],
+                folded_weight[static_cast<std::size_t>(c)]);
+    }
+    if (coarse.num_vertices() == fine.num_vertices()) {
+      break;  // matching stalled (e.g. edgeless graph)
+    }
+    fine = coarse;
+    ++levels;
+  }
+  if (levels_out != nullptr) {
+    *levels_out = levels;
+  }
+}
+
+TEST(Properties, CoarseningConservesVolumeCostAndProjection) {
+  // 100 random multi-phase graphs, each coarsened down a full V-cycle.
+  SplitMix64 seeder(kBaseSeed ^ 0xC0A25EULL);
+  for (int i = 0; i < 100; ++i) {
+    SplitMix64 rng(seeder.next_u64());
+    const TaskGraph graph = random_task_graph(rng);
+    check_coarsen_case(graph, rng.next_u64());
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+  // Plus the structured generators the size sweep uses; all should
+  // support several genuine halving levels.
+  int levels = 0;
+  check_coarsen_case(make_stencil2d(12, 12, 7), 7, &levels);
+  EXPECT_GE(levels, 4);
+  check_coarsen_case(make_stencil3d(4, 4, 4, 7), 7, &levels);
+  EXPECT_GE(levels, 3);
+  check_coarsen_case(make_random_geometric(128, 0.2, 7), 7, &levels);
+  EXPECT_GE(levels, 1);
+  check_coarsen_case(make_power_law(128, 3, 7), 7, &levels);
+  EXPECT_GE(levels, 1);
+}
+
+TEST(Properties, ProjectedPlacementScoresExactlyUnderIncremental) {
+  // A coarse placement projected through coarse_of_fine must be a
+  // valid placement of the real graph, and the incremental evaluator
+  // seeded with it must agree with the full re-score to the unit.
+  SplitMix64 seeder(kBaseSeed ^ 0xF1DE11ULL);
+  for (int i = 0; i < 60; ++i) {
+    SplitMix64 rng(seeder.next_u64());
+    const TaskGraph graph = random_task_graph(rng);
+    const Topology topo = random_topology(rng);
+    const int n = graph.num_tasks();
+    const CsrTaskGraph csr = CsrTaskGraph::from_task_graph(graph);
+    const CoarsenResult step =
+        coarsen_heavy_edge(csr, rng.next_u64(), std::max(1, n / 2));
+    // Random coarse placement, projected to the fine tasks.
+    std::vector<int> procs(static_cast<std::size_t>(n));
+    std::vector<int> coarse_proc(
+        static_cast<std::size_t>(step.coarse.num_vertices()));
+    for (auto& p : coarse_proc) {
+      p = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(topo.num_procs())));
+    }
+    for (int v = 0; v < n; ++v) {
+      procs[static_cast<std::size_t>(v)] = coarse_proc[static_cast<
+          std::size_t>(step.coarse_of_fine[static_cast<std::size_t>(v)])];
+      ASSERT_GE(procs[static_cast<std::size_t>(v)], 0);
+      ASSERT_LT(procs[static_cast<std::size_t>(v)], topo.num_procs());
+    }
+    std::vector<PhaseRouting> routing(graph.comm_phases().size());
+    for (std::size_t k = 0; k < graph.comm_phases().size(); ++k) {
+      for (const CommEdge& e : graph.comm_phases()[k].edges) {
+        routing[k].route_of_edge.push_back(greedy_shortest_route(
+            topo, procs[static_cast<std::size_t>(e.src)],
+            procs[static_cast<std::size_t>(e.dst)]));
+      }
+    }
+    const std::int64_t full = completion_time(graph, procs, routing, topo);
+    const IncrementalCompletion inc(graph, topo, procs, routing);
+    EXPECT_EQ(inc.completion(), full);
     if (HasFatalFailure()) {
       return;
     }

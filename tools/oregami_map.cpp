@@ -109,8 +109,15 @@ int usage(const char* argv0) {
       << "                         external IPC, max exec load) instead of\n"
       << "                         only the scalar winner; requires\n"
       << "                         --portfolio\n"
+      << "  --multilevel [LEVELS]  map with the multilevel V-cycle\n"
+      << "                         (coarsen / map / refine; built for\n"
+      << "                         10k+ task graphs). LEVELS caps the\n"
+      << "                         coarsening depth (1..64); omit it for\n"
+      << "                         automatic depth. Incompatible with\n"
+      << "                         --portfolio\n"
       << "  --time-budget MS       wall-clock deadline in milliseconds for\n"
-      << "                         portfolio search and repair (0 = none)\n"
+      << "                         portfolio search, multilevel refinement\n"
+      << "                         and repair (0 = none)\n"
       << "  --inject-faults SPEC   degrade the machine before mapping;\n"
       << "                         " << FaultSpec::grammar_help() << "\n"
       << "  --fault-seed S         seed for rand:PxLxS fault tokens\n"
@@ -217,6 +224,29 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.explain = true;
     } else if (arg == "--heft") {
       options.mapper.heft = true;
+    } else if (arg == "--multilevel") {
+      // The level cap is optional: consume the next token only when it
+      // parses fully as an integer, so "--multilevel --ascii" works.
+      options.mapper.multilevel = -1;  // auto depth
+      if (i + 1 < argc) {
+        const std::string peek = argv[i + 1];
+        std::size_t pos = 0;
+        int levels = 0;
+        try {
+          levels = std::stoi(peek, &pos);
+        } catch (const std::exception&) {
+          pos = 0;
+        }
+        if (pos == peek.size() && !peek.empty()) {
+          ++i;
+          if (levels < 1 || levels > 64) {
+            std::cerr << "--multilevel expects 1 <= LEVELS <= 64, got '"
+                      << peek << "'\n";
+            return std::nullopt;
+          }
+          options.mapper.multilevel = levels;
+        }
+      }
     } else if (arg == "--pareto") {
       options.pareto = true;
     } else if (arg == "--portfolio" || arg == "--anneal" || arg == "--jobs" ||
@@ -276,6 +306,7 @@ int map_and_report(const Options& options, const larcs::Program& ast,
                    const std::optional<FaultedTopology>& faulted) {
   try {
     MapperOptions mapper = options.mapper;
+    mapper.multilevel_budget_ms = options.time_budget_ms;
     // Degraded-mode mapping (no --repair): run the pipeline directly
     // on the healthy sub-machine.
     if (faulted && !options.repair) {
@@ -525,6 +556,11 @@ int main(int argc, char** argv) {
     if (options.pareto && options.mapper.portfolio <= 0) {
       std::cerr << "--pareto requires --portfolio N (the front ranks the "
                    "portfolio candidates)\n";
+      return usage(argv[0]);
+    }
+    if (options.mapper.multilevel != 0 && options.mapper.portfolio > 0) {
+      std::cerr << "--multilevel is incompatible with --portfolio (the "
+                   "V-cycle replaces the candidate search)\n";
       return usage(argv[0]);
     }
     if (options.trace_file || options.trace_summary) {
