@@ -1,0 +1,98 @@
+#include "oregami/server/result_cache.hpp"
+
+#include <algorithm>
+
+namespace oregami::server {
+
+ResultCache::ResultCache(std::size_t capacity, int shards) {
+  capacity_ = std::max<std::size_t>(1, capacity);
+  std::size_t n = shards <= 0 ? 1 : static_cast<std::size_t>(shards);
+  n = std::min<std::size_t>(n, 256);
+  n = std::min(n, capacity_);  // every shard must hold >= 1 entry
+  per_shard_capacity_ = (capacity_ + n - 1) / n;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_of(std::uint64_t digest) {
+  // Top bits: FNV-1a mixes high bits well, and the map's own bucketing
+  // uses the low bits, so shard and bucket choice stay independent.
+  const std::size_t index =
+      static_cast<std::size_t>(digest >> 48) % shards_.size();
+  return *shards_[index];
+}
+
+const ResultCache::Shard& ResultCache::shard_of(std::uint64_t digest) const {
+  const std::size_t index =
+      static_cast<std::size_t>(digest >> 48) % shards_.size();
+  return *shards_[index];
+}
+
+std::shared_ptr<const CachedOutcome> ResultCache::lookup(
+    std::uint64_t digest) {
+  Shard& shard = shard_of(digest);
+  std::shared_ptr<const CachedOutcome> found;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(digest);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      found = it->second.outcome;
+    }
+  }
+  if (found != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return found;
+}
+
+void ResultCache::insert(std::uint64_t digest,
+                         std::shared_ptr<const CachedOutcome> outcome) {
+  Shard& shard = shard_of(digest);
+  std::int64_t evicted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(digest);
+    if (it != shard.map.end()) {
+      it->second.outcome = std::move(outcome);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    } else {
+      shard.lru.push_front(digest);
+      shard.map.emplace(digest,
+                        Shard::Slot{std::move(outcome), shard.lru.begin()});
+      while (shard.map.size() > per_shard_capacity_) {
+        const std::uint64_t victim = shard.lru.back();
+        shard.lru.pop_back();
+        shard.map.erase(victim);
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+}
+
+bool ResultCache::contains(std::uint64_t digest) const {
+  const Shard& shard = shard_of(digest);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.map.find(digest) != shard.map.end();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    s.size += static_cast<std::int64_t>(shard->map.size());
+  }
+  return s;
+}
+
+}  // namespace oregami::server

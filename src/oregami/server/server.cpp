@@ -1,0 +1,361 @@
+#include "oregami/server/server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <future>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "oregami/arch/topology_spec.hpp"
+#include "oregami/larcs/compiler.hpp"
+#include "oregami/larcs/parser.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/metrics/completion_model.hpp"
+#include "oregami/server/digest.hpp"
+#include "oregami/server/wire.hpp"
+#include "oregami/support/deadline.hpp"
+#include "oregami/support/error.hpp"
+#include "oregami/support/thread_pool.hpp"
+#include "oregami/support/thread_safe_queue.hpp"
+#include "oregami/support/trace.hpp"
+
+namespace oregami::server {
+
+namespace {
+
+using OutcomePtr = std::shared_ptr<const CachedOutcome>;
+
+/// The compiled half of a job (everything the digest and the mapper
+/// need).
+struct CompiledJob {
+  larcs::Program ast;
+  larcs::CompiledProgram compiled;
+  Topology topo;
+};
+
+/// Resolves and compiles a job's textual inputs. Throws WireError with
+/// a "job <id>: "-prefixed message on every failure.
+CompiledJob compile_job(const WireJob& job) {
+  const std::string prefix = "job " + job.id + ": ";
+  std::string source;
+  if (!job.program.empty()) {
+    bool found = false;
+    for (const auto& entry : larcs::programs::catalog()) {
+      if (entry.name == job.program) {
+        source = entry.source;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw WireError(kJobBadInput, prefix + "unknown program \"" +
+                                        job.program +
+                                        "\" (see --list-programs)");
+    }
+  } else if (!job.program_file.empty()) {
+    std::ifstream in(job.program_file);
+    if (!in) {
+      throw WireError(kJobBadInput, prefix + "cannot open program_file \"" +
+                                        job.program_file + "\"");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  } else {
+    source = job.larcs;
+  }
+
+  // Topology first: a typo'd machine spec should be reported as such
+  // even when the program text has its own problems.
+  Topology topo = [&] {
+    try {
+      return parse_topology_spec(job.topology);
+    } catch (const MappingError& e) {
+      throw WireError(kJobBadInput,
+                      prefix + "unknown or invalid topology \"" +
+                          job.topology + "\": " + e.what());
+    }
+  }();
+  try {
+    larcs::Program ast = larcs::parse_program(source);
+    larcs::CompiledProgram compiled = larcs::compile(ast, job.bindings);
+    return CompiledJob{std::move(ast), std::move(compiled),
+                       std::move(topo)};
+  } catch (const LarcsError& e) {
+    throw WireError(kJobBadInput, prefix + e.what());
+  }
+}
+
+/// Runs the mapping pipeline and distils the result into the cacheable
+/// outcome. Deterministic failures (infeasible mappings) become error
+/// outcomes -- cached like successes, so repeated bad jobs are O(1)
+/// and hit/miss totals stay schedule-independent.
+OutcomePtr compute_outcome(const WireJob& job, const CompiledJob& cj) {
+  auto outcome = std::make_shared<CachedOutcome>();
+  try {
+    const MapperReport report =
+        map_program(cj.ast, cj.compiled, cj.topo, job.options);
+    const std::vector<int> procs = report.mapping.proc_of_task();
+    const PlacementObjectives obj = extract_objectives(
+        cj.compiled.graph, procs, report.mapping.routing, cj.topo);
+    outcome->ok = true;
+    outcome->strategy = to_string(report.strategy);
+    outcome->completion = obj.completion;
+    outcome->external_ipc = obj.external_ipc;
+    outcome->max_load = obj.max_load;
+    outcome->num_procs = cj.topo.num_procs();
+    outcome->proc_of_task = procs;
+  } catch (const MappingError& e) {
+    outcome->ok = false;
+    outcome->error_code = kJobInfeasible;
+    outcome->error = "job " + job.id + ": mapping infeasible: " + e.what();
+  } catch (const std::exception& e) {
+    outcome->ok = false;
+    outcome->error_code = kJobInternal;
+    outcome->error = "job " + job.id + ": internal error: " + e.what();
+  }
+  return outcome;
+}
+
+/// Shared mutable state of one serve() call. Workers only touch the
+/// thread-safe members; the scalar tallies are owned by the writer
+/// side (updated under `done_mutex`).
+struct ServeState {
+  explicit ServeState(const ServerOptions& opts)
+      : results(256),
+        owned_cache(opts.cache == nullptr
+                        ? std::make_unique<ResultCache>(opts.cache_capacity,
+                                                        opts.cache_shards)
+                        : nullptr),
+        cache(opts.cache != nullptr ? opts.cache : owned_cache.get()) {}
+
+  ThreadSafeQueue<std::string> results;
+  std::unique_ptr<ResultCache> owned_cache;
+  ResultCache* cache;
+
+  /// Single-flight: digest -> the future of the first (and only)
+  /// computation in flight for it. Concurrent identical jobs join the
+  /// future instead of recomputing, which keeps hit/miss totals
+  /// schedule-independent.
+  std::mutex inflight_mutex;
+  std::unordered_map<std::uint64_t, std::shared_future<OutcomePtr>> inflight;
+
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> errors{0};
+  std::atomic<std::int64_t> cache_hits{0};
+  std::atomic<std::int64_t> cache_misses{0};
+
+  /// Drain accounting: submitted jobs not yet fully emitted.
+  std::mutex done_mutex;
+  std::condition_variable all_done;
+  int outstanding = 0;
+
+  void job_finished() {
+    {
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      --outstanding;
+    }
+    all_done.notify_all();
+  }
+};
+
+/// The per-job worker body: compile, digest, cache/single-flight,
+/// format, emit. Never throws.
+void run_job(ServeState& state, const WireJob& job,
+             std::chrono::steady_clock::time_point admitted,
+             const ServerOptions& opts) {
+  std::string line;
+  try {
+    Deadline deadline(job.deadline_ms != 0 ? job.deadline_ms
+                                           : opts.default_deadline_ms);
+    if (deadline.passed()) {
+      throw WireError(kJobDeadline,
+                      "job " + job.id + ": deadline expired before start");
+    }
+    const CompiledJob cj = compile_job(job);
+    const std::uint64_t digest =
+        job_digest(cj.compiled.graph, cj.topo, job.options);
+
+    OutcomePtr outcome;
+    bool hit = false;
+    std::shared_future<OutcomePtr> wait_on;
+    std::promise<OutcomePtr> promise;
+    bool computing = false;
+    {
+      // Lookup and in-flight registration are one atomic step, so an
+      // identical job can never slip between "not cached yet" and
+      // "someone is computing it".
+      const std::lock_guard<std::mutex> lock(state.inflight_mutex);
+      outcome = state.cache->lookup(digest);
+      if (outcome != nullptr) {
+        hit = true;
+      } else {
+        const auto it = state.inflight.find(digest);
+        if (it != state.inflight.end()) {
+          wait_on = it->second;
+        } else {
+          state.inflight.emplace(digest,
+                                 std::shared_future<OutcomePtr>(
+                                     promise.get_future().share()));
+          computing = true;
+        }
+      }
+    }
+    if (computing) {
+      outcome = compute_outcome(job, cj);
+      state.cache->insert(digest, outcome);
+      promise.set_value(outcome);
+      {
+        const std::lock_guard<std::mutex> lock(state.inflight_mutex);
+        state.inflight.erase(digest);
+      }
+    } else if (!hit) {
+      outcome = wait_on.get();  // join the identical in-flight job
+      hit = true;
+    }
+    if (hit) {
+      state.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      state.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const double wall_ms =
+        opts.deterministic
+            ? 0.0
+            : std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - admitted)
+                  .count();
+    if (outcome->ok) {
+      line = format_ok_result(job.id, digest, hit, *outcome, wall_ms);
+      state.ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      line = format_error_result(job.id, job.line, outcome->error_code,
+                                 outcome->error);
+      state.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const WireError& e) {
+    line = format_error_result(job.id, job.line, e.code(), e.what());
+    state.errors.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    line = format_error_result(job.id, job.line, kJobInternal,
+                               "job " + job.id + ": internal error: " +
+                                   e.what());
+    state.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.results.push(std::move(line));
+  state.job_finished();
+}
+
+}  // namespace
+
+std::string ServerStats::to_json() const {
+  std::string out = "{\"lines\":" + std::to_string(lines);
+  out += ",\"ok\":" + std::to_string(ok);
+  out += ",\"errors\":" + std::to_string(errors);
+  out += ",\"rejected\":" + std::to_string(rejected);
+  out += ",\"cache_hits\":" + std::to_string(cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(cache_misses);
+  out += ",\"cache_evictions\":" + std::to_string(cache_evictions);
+  out += "}";
+  return out;
+}
+
+ServerStats serve(std::istream& in, std::ostream& out,
+                  const ServerOptions& options,
+                  const std::atomic<bool>* stop) {
+  const trace::Span span("server/serve");
+  ServerStats stats;
+  ServeState state(options);
+  const ResultCache::Stats cache_before = state.cache->stats();
+
+  // The writer is the only thread that touches `out`: workers push
+  // finished lines into the bounded queue and the writer emits them in
+  // completion order, flushing per line so a downstream consumer sees
+  // results as they land.
+  std::thread writer([&state, &out] {
+    while (auto line = state.results.pop()) {
+      out << *line << '\n' << std::flush;
+    }
+  });
+
+  {
+    // Pool scope: destroying the pool joins the workers, but drain is
+    // explicit below so the writer outlives every producer.
+    ThreadPool pool(options.jobs, "oregami-srv");
+    const int capacity = options.queue_capacity > 0 ? options.queue_capacity
+                                                    : 1;
+    std::string raw;
+    std::size_t line_number = 0;
+    while ((stop == nullptr || !stop->load(std::memory_order_relaxed)) &&
+           std::getline(in, raw)) {
+      ++line_number;
+      // Blank lines are keep-alives / formatting, not jobs.
+      if (raw.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;
+      }
+      ++stats.lines;
+
+      WireJob job;
+      try {
+        job = parse_job(raw, line_number);
+      } catch (const WireError& e) {
+        state.results.push(
+            format_error_result("", line_number, e.code(), e.what()));
+        ++stats.errors;
+        continue;
+      }
+
+      // Admission control: reject instead of buffering without bound.
+      const int depth = pool.pending();
+      trace::counter("server/queue_depth", depth);
+      if (depth >= capacity) {
+        state.results.push(format_error_result(
+            job.id, job.line, kJobRejected,
+            "job " + job.id + ": rejected: queue full (" +
+                std::to_string(depth) + " jobs pending, capacity " +
+                std::to_string(capacity) + ")"));
+        ++stats.rejected;
+        ++stats.errors;
+        continue;
+      }
+
+      {
+        const std::lock_guard<std::mutex> lock(state.done_mutex);
+        ++state.outstanding;
+      }
+      const auto admitted = std::chrono::steady_clock::now();
+      auto future = pool.submit(
+          [&state, job = std::move(job), admitted, &options]() mutable {
+            run_job(state, job, admitted, options);
+          });
+      (void)future;  // completion is tracked via ServeState::outstanding
+    }
+
+    // Drain: every admitted job emits its line before the pool dies.
+    std::unique_lock<std::mutex> lock(state.done_mutex);
+    state.all_done.wait(lock, [&state] { return state.outstanding == 0; });
+  }
+
+  state.results.close();
+  writer.join();
+
+  stats.ok = state.ok.load();
+  stats.errors += state.errors.load();
+  stats.cache_hits = state.cache_hits.load();
+  stats.cache_misses = state.cache_misses.load();
+  const ResultCache::Stats cache_after = state.cache->stats();
+  stats.cache_evictions = cache_after.evictions - cache_before.evictions;
+  trace::counter("server/cache_hits", stats.cache_hits);
+  trace::counter("server/cache_misses", stats.cache_misses);
+  trace::counter("server/cache_evictions", stats.cache_evictions);
+  return stats;
+}
+
+}  // namespace oregami::server

@@ -49,6 +49,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
@@ -89,6 +90,7 @@ void ThreadPool::worker_loop(int worker_index, const std::string& name) {
       // Swallowed by design: result-carrying tasks report through
       // their future; anything else has no channel to report on.
     }
+    pending_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -15,6 +15,7 @@
 //     auditable under TSan.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -49,6 +50,16 @@ class ThreadPool {
   /// Resolves the worker count the constructor would use for `jobs`.
   [[nodiscard]] static int resolve_workers(int jobs);
 
+  /// Number of submitted tasks that have not finished yet (queued +
+  /// currently running). Lock-free: a single relaxed atomic read, so
+  /// admission-control checks on a hot ingest path never contend with
+  /// the workers. The value is monotone only per observer -- it is a
+  /// snapshot, not a fence -- which is exactly what a bounded-queue
+  /// admission test needs.
+  [[nodiscard]] int pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
   /// Stable index of the calling pool worker within its pool
   /// (0 .. num_workers-1), or -1 when the caller is not a pool worker.
   /// Trace events record this so a span can be attributed to the
@@ -82,6 +93,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  /// Submitted-but-unfinished task count (see pending()).
+  std::atomic<int> pending_{0};
 };
 
 }  // namespace oregami

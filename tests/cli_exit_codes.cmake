@@ -79,3 +79,42 @@ expect_exit(3 --program jacobi --topology mesh:4x4)  # missing bindings
 # 4: mapping infeasible (machine fully dead).
 expect_exit(4 --program jacobi --bind n=8 --bind iters=10
             --topology mesh:2x2 --inject-faults p0,p1,p2,p3)
+
+# 0: --digest prints the server cache key instead of mapping; the same
+# inputs that map successfully must digest successfully.
+expect_exit(0 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --digest)
+expect_exit(3 --program no-such-program --topology mesh:4x4 --digest)
+
+# ---------------------------------------------------------------------
+# oregami_serve: process exit codes (0 clean drain even when every job
+# fails, 2 usage). Per-job failures are result lines, not exits.
+# ---------------------------------------------------------------------
+function(expect_serve_exit expected input)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E echo "${input}"
+                  COMMAND ${OREGAMI_SERVE} ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(NOT code EQUAL expected)
+    message(FATAL_ERROR
+            "oregami_serve ${ARGN} < '${input}': expected exit "
+            "${expected}, got ${code}")
+  endif()
+endfunction()
+
+# 0: clean drains -- a good job, an empty stream, and every flavour of
+# bad job (malformed JSON, unknown program, unknown topology, expired
+# deadline) must all leave the daemon alive to exit 0.
+expect_serve_exit(0 "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},\"topology\":\"mesh:4x4\"}")
+expect_serve_exit(0 "")
+expect_serve_exit(0 "this is not json")
+expect_serve_exit(0 "{\"id\":2,\"program\":\"nope\",\"topology\":\"mesh:4x4\"}")
+expect_serve_exit(0 "{\"id\":3,\"program\":\"jacobi\",\"topology\":\"taurus\"}")
+expect_serve_exit(0 "{\"id\":4,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},\"topology\":\"mesh:4x4\",\"deadline_ms\":-1}"
+                  --deterministic)
+
+# 2: usage errors kill the daemon before it reads anything.
+expect_serve_exit(2 "" --frobnicate)
+expect_serve_exit(2 "" --jobs -2)
+expect_serve_exit(2 "" --queue-capacity 0)
+expect_serve_exit(2 "" --cache-capacity x)

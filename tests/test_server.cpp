@@ -1,0 +1,349 @@
+// The mapping server end to end: wire parsing/formatting, the serve()
+// loop's determinism contract (order-normalized result streams are
+// byte-identical across worker counts), per-job error handling, and
+// warm-cache reuse across serve() calls.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "oregami/larcs/programs.hpp"
+#include "oregami/server/server.hpp"
+#include "oregami/server/wire.hpp"
+
+namespace oregami::server {
+namespace {
+
+void expect_contains(const std::string& haystack,
+                     const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "expected to find: " << needle << "\nin: " << haystack;
+}
+
+// ----------------------------------------------------------- parsing
+
+TEST(WireParse, AcceptsFullJob) {
+  const WireJob job = parse_job(
+      R"({"id":7,"program":"nbody","bind":{"n":15,"s":4,"m":8},)"
+      R"("topology":"mesh:4x4","options":{"portfolio":8,"anneal":2,)"
+      R"("heft":true,"seed":123},"deadline_ms":50})",
+      3);
+  EXPECT_EQ(job.id, "7");
+  EXPECT_EQ(job.line, 3u);
+  EXPECT_EQ(job.program, "nbody");
+  EXPECT_EQ(job.topology, "mesh:4x4");
+  EXPECT_EQ(job.bindings.at("n"), 15);
+  EXPECT_EQ(job.bindings.at("s"), 4);
+  EXPECT_EQ(job.options.portfolio, 8);
+  EXPECT_EQ(job.options.anneal, 2);
+  EXPECT_TRUE(job.options.heft);
+  EXPECT_EQ(job.options.portfolio_seed, 123u);
+  EXPECT_EQ(job.deadline_ms, 50);
+  EXPECT_EQ(job.options.jobs, 1);  // server default: no per-job fan-out
+}
+
+TEST(WireParse, StringAndNumericIdsBothEchoCanonically) {
+  EXPECT_EQ(parse_job(R"({"id":"abc","larcs":"x","topology":"ring:2"})", 1)
+                .id,
+            "abc");
+  EXPECT_EQ(parse_job(R"({"id":42,"larcs":"x","topology":"ring:2"})", 1).id,
+            "42");
+}
+
+void expect_parse_error(const std::string& line, int code,
+                        const std::string& needle) {
+  try {
+    (void)parse_job(line, 9);
+    FAIL() << "expected WireError for: " << line;
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.code(), code) << e.what();
+    expect_contains(e.what(), needle);
+  }
+}
+
+TEST(WireParse, RejectsBadJobsWithQuotableMessages) {
+  expect_parse_error("not json", kJobMalformed, "JSON error");
+  expect_parse_error("[1,2]", kJobMalformed, "must be a JSON object");
+  expect_parse_error(R"({"program":"x","topology":"ring:2"})",
+                     kJobMalformed, "missing required field \"id\"");
+  expect_parse_error(R"({"id":"","program":"x","topology":"ring:2"})",
+                     kJobMalformed, "\"id\" must not be empty");
+  expect_parse_error(R"({"id":1,"program":"x"})", kJobMalformed,
+                     "missing required field \"topology\"");
+  expect_parse_error(R"({"id":1,"topology":"ring:2"})", kJobMalformed,
+                     "exactly one of");
+  expect_parse_error(
+      R"({"id":1,"program":"x","larcs":"y","topology":"ring:2"})",
+      kJobMalformed, "mutually exclusive");
+  expect_parse_error(
+      R"({"id":1,"program":"x","topology":"ring:2","frob":1})",
+      kJobMalformed, "unknown field \"frob\"");
+  expect_parse_error(
+      R"({"id":1,"program":"x","topology":"ring:2","bind":{"n":1.5}})",
+      kJobMalformed, "bind.n");
+  expect_parse_error(
+      R"({"id":1,"program":"x","topology":"ring:2",)"
+      R"("options":{"warp":9}})",
+      kJobMalformed, "unknown option \"warp\"");
+  // The CLI's flag-combination contract, enforced per job.
+  expect_parse_error(
+      R"({"id":1,"program":"x","topology":"ring:2",)"
+      R"("options":{"anneal":2}})",
+      kJobMalformed, "requires options.portfolio");
+  expect_parse_error(
+      R"({"id":1,"program":"x","topology":"ring:2",)"
+      R"("options":{"multilevel":-1,"portfolio":4}})",
+      kJobMalformed, "incompatible");
+  // Every parse error names the job once an id is known.
+  expect_parse_error(
+      R"({"id":7,"program":"x","topology":"ring:2","frob":1})",
+      kJobMalformed, "job 7:");
+}
+
+// -------------------------------------------------------- formatting
+
+TEST(WireFormat, JsonEscapeCoversControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(WireFormat, OkResultFieldOrderIsStable) {
+  CachedOutcome outcome;
+  outcome.ok = true;
+  outcome.strategy = "canned";
+  outcome.completion = 10;
+  outcome.external_ipc = 20;
+  outcome.max_load = 5;
+  outcome.proc_of_task = {0, 1};
+  EXPECT_EQ(format_ok_result("7", 0xabcULL, true, outcome, 1.5),
+            "{\"id\":\"7\",\"status\":\"ok\","
+            "\"digest\":\"0000000000000abc\",\"cache\":\"hit\","
+            "\"strategy\":\"canned\",\"completion\":10,"
+            "\"external_ipc\":20,\"max_load\":5,\"procs\":[0,1],"
+            "\"wall_ms\":1.500}");
+}
+
+TEST(WireFormat, ErrorResultRendersNullIdWhenUnknown) {
+  EXPECT_EQ(format_error_result("", 4, kJobMalformed, "bad \"x\""),
+            "{\"id\":null,\"line\":4,\"status\":\"error\",\"code\":2,"
+            "\"error\":\"bad \\\"x\\\"\"}");
+}
+
+// ------------------------------------------------------------- serve
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+/// Normalizes a result stream for cross-run comparison: sorts by line
+/// text (result ids are unique, so this is a stable order) and blanks
+/// the one schedule-dependent bit -- which of several *identical
+/// concurrent* jobs computed vs joined (per-line "cache" label).
+std::vector<std::string> normalized(const std::string& text) {
+  std::vector<std::string> lines = split_lines(text);
+  for (auto& line : lines) {
+    for (const char* label : {"\"cache\":\"hit\"", "\"cache\":\"miss\""}) {
+      const auto at = line.find(label);
+      if (at != std::string::npos) {
+        line.replace(at, std::string(label).size(), "\"cache\":\"?\"");
+      }
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// A 50-line mixed stream: every catalog program (with its example
+/// bindings), duplicates that must hit the cache, and a tail of
+/// malformed / unknown-input / infeasible / expired jobs.
+std::string mixed_stream() {
+  std::string stream;
+  int id = 0;
+  const auto catalog = larcs::programs::catalog();
+  auto job_line = [&](const larcs::programs::CatalogEntry& entry,
+                      const std::string& topo) {
+    std::string line =
+        "{\"id\":" + std::to_string(++id) + ",\"program\":\"" + entry.name +
+        "\",\"bind\":{";
+    bool first = true;
+    for (const auto& [name, value] : entry.example_bindings) {
+      if (!first) {
+        line += ',';
+      }
+      first = false;
+      line += "\"" + name + "\":" + std::to_string(value);
+    }
+    line += "},\"topology\":\"" + topo + "\"}\n";
+    stream += line;
+  };
+  for (int round = 0; round < 3; ++round) {  // 30 jobs, 20 duplicates
+    for (const auto& entry : catalog) {
+      job_line(entry, round == 1 ? "ring:16" : "mesh:4x4");
+    }
+  }
+  // 20 deterministic failures of every flavour.
+  for (int i = 0; i < 5; ++i) {
+    stream += "{\"id\":" + std::to_string(++id) + "}\n";  // malformed
+    stream += "{\"id\":" + std::to_string(++id) +
+              ",\"program\":\"nope\",\"topology\":\"mesh:4x4\"}\n";
+    stream += "{\"id\":" + std::to_string(++id) +
+              ",\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+              "\"topology\":\"taurus\"}\n";
+    stream += "{\"id\":" + std::to_string(++id) +
+              ",\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+              "\"topology\":\"mesh:4x4\",\"deadline_ms\":-1}\n";
+  }
+  return stream;
+}
+
+ServerOptions deterministic_options(int jobs) {
+  ServerOptions options;
+  options.jobs = jobs;
+  options.deterministic = true;
+  options.queue_capacity = 1 << 10;  // never reject in this test
+  return options;
+}
+
+TEST(Serve, MixedStreamIsDeterministicAcrossWorkerCounts) {
+  const std::string stream = mixed_stream();
+  ASSERT_GE(split_lines(stream).size(), 50u);
+
+  std::istringstream in1(stream);
+  std::ostringstream out1;
+  const ServerStats s1 = serve(in1, out1, deterministic_options(1));
+
+  std::istringstream in3(stream);
+  std::ostringstream out3;
+  const ServerStats s3 = serve(in3, out3, deterministic_options(3));
+
+  EXPECT_EQ(normalized(out1.str()), normalized(out3.str()));
+
+  // Accounting is deterministic too: 20 unique mapping jobs (10
+  // programs x 2 topologies), 10 duplicates, 20 failures of which the
+  // 5 bad-topology and 5 unknown-program jobs fail before the cache.
+  EXPECT_EQ(s1.lines, 50);
+  EXPECT_EQ(s1.ok, 30);
+  EXPECT_EQ(s1.errors, 20);
+  EXPECT_EQ(s1.rejected, 0);
+  EXPECT_EQ(s1.cache_misses, 20);
+  EXPECT_EQ(s1.cache_hits, 10);
+  EXPECT_EQ(s3.lines, s1.lines);
+  EXPECT_EQ(s3.ok, s1.ok);
+  EXPECT_EQ(s3.errors, s1.errors);
+  EXPECT_EQ(s3.cache_misses, s1.cache_misses);
+  EXPECT_EQ(s3.cache_hits, s1.cache_hits);
+}
+
+TEST(Serve, RepeatRunsKeepPerLineCacheLabelsWithOneWorker) {
+  // With one worker, jobs execute in admission order, so even the
+  // per-line hit/miss labels are reproducible. Only the interleaving
+  // of reader-emitted parse-error lines with worker-emitted results is
+  // schedule-dependent, so compare sorted (labels NOT blanked).
+  const std::string stream = mixed_stream();
+  std::vector<std::string> first;
+  for (int run = 0; run < 2; ++run) {
+    std::istringstream in(stream);
+    std::ostringstream out;
+    (void)serve(in, out, deterministic_options(1));
+    std::vector<std::string> lines = split_lines(out.str());
+    std::sort(lines.begin(), lines.end());
+    if (run == 0) {
+      first = std::move(lines);
+    } else {
+      EXPECT_EQ(lines, first);
+    }
+  }
+}
+
+TEST(Serve, ErrorLinesCarryTheContractCodes) {
+  const std::string stream =
+      "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"taurus\"}\n"
+      "garbage\n"
+      "{\"id\":3,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\",\"deadline_ms\":-1}\n";
+  std::istringstream in(stream);
+  std::ostringstream out;
+  const ServerStats stats = serve(in, out, deterministic_options(1));
+  EXPECT_EQ(stats.errors, 3);
+  const std::string text = out.str();
+  expect_contains(text, "\"code\":3");  // bad topology
+  expect_contains(text, "unknown or invalid topology \\\"taurus\\\"");
+  expect_contains(text, "\"code\":2");  // malformed line
+  expect_contains(text, "\"code\":6");  // expired deadline
+  expect_contains(text, "deadline expired");
+}
+
+TEST(Serve, BlankLinesAreKeepAlivesNotJobs) {
+  std::istringstream in("\n  \t\n\n");
+  std::ostringstream out;
+  const ServerStats stats = serve(in, out, deterministic_options(1));
+  EXPECT_EQ(stats.lines, 0);
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(Serve, ExternalCacheStaysWarmAcrossCalls) {
+  const std::string stream =
+      "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\"}\n"
+      "{\"id\":2,\"program\":\"sor\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\"}\n";
+  ResultCache cache(64, 4);
+  ServerOptions options = deterministic_options(2);
+  options.cache = &cache;
+
+  std::istringstream cold_in(stream);
+  std::ostringstream cold_out;
+  const ServerStats cold = serve(cold_in, cold_out, options);
+  EXPECT_EQ(cold.cache_misses, 2);
+  EXPECT_EQ(cold.cache_hits, 0);
+
+  std::istringstream warm_in(stream);
+  std::ostringstream warm_out;
+  const ServerStats warm = serve(warm_in, warm_out, options);
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(warm.cache_hits, 2);
+
+  // Identical payloads modulo the hit/miss label.
+  EXPECT_EQ(normalized(cold_out.str()), normalized(warm_out.str()));
+}
+
+TEST(Serve, StopFlagStopsAdmissionButStillDrains) {
+  std::atomic<bool> stop{true};  // raised before the first line
+  std::istringstream in(
+      "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\"}\n");
+  std::ostringstream out;
+  const ServerStats stats = serve(in, out, deterministic_options(1), &stop);
+  EXPECT_EQ(stats.lines, 0);  // nothing admitted
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(Serve, StatsToJsonIsOneStableLine) {
+  ServerStats stats;
+  stats.lines = 5;
+  stats.ok = 3;
+  stats.errors = 2;
+  stats.rejected = 1;
+  stats.cache_hits = 4;
+  stats.cache_misses = 6;
+  stats.cache_evictions = 7;
+  EXPECT_EQ(stats.to_json(),
+            "{\"lines\":5,\"ok\":3,\"errors\":2,\"rejected\":1,"
+            "\"cache_hits\":4,\"cache_misses\":6,\"cache_evictions\":7}");
+}
+
+}  // namespace
+}  // namespace oregami::server

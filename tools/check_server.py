@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate and normalise oregami_serve result streams.
+
+Dependency-free (stdlib only). Validates that every line of a server
+result stream is a well-formed result object (ok results carry the full
+objective triple and a 16-hex digest; error results carry a contract
+code 1-6), and optionally writes a normalised copy for byte comparison
+across runs and --jobs values: lines sorted by id, the volatile
+"wall_ms" field stripped, and the per-line "cache" hit/miss label
+blanked (which of several identical concurrent jobs computes vs joins
+is the one schedule-dependent bit; the totals are deterministic).
+
+Usage:
+    check_server.py RESULTS.txt              # validate, exit 0/1
+    check_server.py RESULTS.txt --norm OUT   # validate + normalised copy
+"""
+
+import argparse
+import json
+import re
+import sys
+
+ERROR_CODES = {1, 2, 3, 4, 5, 6}
+OK_FIELDS = {
+    "id", "status", "digest", "cache", "strategy", "completion",
+    "external_ipc", "max_load", "procs", "wall_ms",
+}
+ERROR_FIELDS = {"id", "line", "status", "error", "code"}
+
+
+def check_line(obj, index, errors):
+    def fail(message):
+        errors.append(f"line {index + 1}: {message}")
+
+    if not isinstance(obj, dict):
+        fail("result is not an object")
+        return
+    status = obj.get("status")
+    if status == "ok":
+        missing = OK_FIELDS - obj.keys()
+        extra = obj.keys() - OK_FIELDS
+        if missing:
+            fail(f"ok result missing fields {sorted(missing)}")
+        if extra:
+            fail(f"ok result has unexpected fields {sorted(extra)}")
+        if missing or extra:
+            return
+        if not re.fullmatch(r"[0-9a-f]{16}", obj["digest"]):
+            fail(f"digest must be 16 lowercase hex, got {obj['digest']!r}")
+        if obj["cache"] not in ("hit", "miss"):
+            fail(f"cache must be hit|miss, got {obj['cache']!r}")
+        if not isinstance(obj["procs"], list) or not all(
+            isinstance(p, int) and p >= 0 for p in obj["procs"]
+        ):
+            fail("procs must be a list of non-negative ints")
+        for key in ("completion", "external_ipc", "max_load"):
+            if not isinstance(obj[key], int) or obj[key] < 0:
+                fail(f"{key} must be a non-negative int, got {obj[key]!r}")
+    elif status == "error":
+        missing = ERROR_FIELDS - obj.keys()
+        extra = obj.keys() - ERROR_FIELDS
+        if missing:
+            fail(f"error result missing fields {sorted(missing)}")
+        if extra:
+            fail(f"error result has unexpected fields {sorted(extra)}")
+        if missing or extra:
+            return
+        if obj["code"] not in ERROR_CODES:
+            fail(f"code must be in {sorted(ERROR_CODES)}, got {obj['code']!r}")
+        if not isinstance(obj["error"], str) or not obj["error"]:
+            fail("error must be a non-empty message")
+    else:
+        fail(f"status must be 'ok' or 'error', got {status!r}")
+
+
+def normalised(results):
+    out = []
+    for obj in results:
+        obj = dict(obj)
+        obj.pop("wall_ms", None)
+        if "cache" in obj:
+            obj["cache"] = "?"
+        out.append(obj)
+    # Result ids are echoed verbatim (parse failures get null), so
+    # (id-is-null, id, line) is a total, schedule-independent order.
+    out.sort(
+        key=lambda o: (o["id"] is None, str(o["id"]), o.get("line", 0))
+    )
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="server result stream (one JSON/line)")
+    parser.add_argument(
+        "--norm", metavar="OUT",
+        help="write a normalised copy (sorted, volatile fields stripped)",
+    )
+    args = parser.parse_args()
+
+    errors = []
+    results = []
+    with open(args.results, encoding="utf-8") as handle:
+        for index, raw in enumerate(handle):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {index + 1}: not valid JSON: {exc}")
+                continue
+            check_line(obj, index, errors)
+            results.append(obj)
+
+    if errors:
+        for message in errors:
+            print(message, file=sys.stderr)
+        print(f"{args.results}: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+
+    if args.norm:
+        with open(args.norm, "w", encoding="utf-8") as handle:
+            for obj in normalised(results):
+                json.dump(obj, handle, sort_keys=True, separators=(",", ":"))
+                handle.write("\n")
+
+    ok = sum(1 for o in results if o["status"] == "ok")
+    print(
+        f"{args.results}: {len(results)} results ({ok} ok, "
+        f"{len(results) - ok} error) valid"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,8 +40,10 @@
 #include "oregami/metrics/metrics.hpp"
 #include "oregami/metrics/render.hpp"
 #include "oregami/schedule/synchrony.hpp"
+#include "oregami/server/digest.hpp"
 #include "oregami/sim/network_sim.hpp"
 #include "oregami/support/error.hpp"
+#include "oregami/support/hash.hpp"
 #include "oregami/support/trace.hpp"
 
 namespace {
@@ -73,6 +75,7 @@ struct Options {
   bool trace_summary = false;
   bool explain = false;
   bool pareto = false;
+  bool digest = false;
   MapperOptions mapper;
 };
 
@@ -133,6 +136,10 @@ int usage(const char* argv0) {
       << "                         (why the portfolio winner won, with the\n"
       << "                         per-phase cost breakdown); requires\n"
       << "                         --portfolio\n"
+      << "  --digest               print the canonical content digest of\n"
+      << "                         (program, topology, options) -- the\n"
+      << "                         mapping server's cache key -- and exit\n"
+      << "                         without mapping\n"
       << topology_spec_help() << "\n"
       << "exit codes: 0 ok, 1 internal error, 2 usage, 3 bad input, "
          "4 mapping infeasible\n";
@@ -222,6 +229,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.trace_summary = true;
     } else if (arg == "--explain") {
       options.explain = true;
+    } else if (arg == "--digest") {
+      options.digest = true;
     } else if (arg == "--heft") {
       options.mapper.heft = true;
     } else if (arg == "--multilevel") {
@@ -473,6 +482,21 @@ int run(const Options& options) {
     if (options.fault_spec) {
       faulted.emplace(topo, FaultSpec::parse(*options.fault_spec, topo,
                                              options.fault_seed));
+    }
+    if (options.digest) {
+      // Print the mapping server's cache key for these inputs (used to
+      // pre-warm a server or debug why two requests don't share an
+      // entry) and skip the mapping itself.
+      MapperOptions mapper = options.mapper;
+      mapper.multilevel_budget_ms = options.time_budget_ms;
+      if (faulted && !options.repair) {
+        mapper.faults = &*faulted;
+      }
+      std::cout << "digest: "
+                << digest_hex(
+                       server::job_digest(compiled.graph, topo, mapper))
+                << "\n";
+      return kExitOk;
     }
     return map_and_report(options, ast, compiled, topo, faulted);
   } catch (const LarcsError& e) {

@@ -1,0 +1,176 @@
+// oregami_serve -- the long-lived mapping daemon.
+//
+//   oregami_serve [--jobs J] [--queue-capacity N] [--cache-capacity N]
+//                 [--cache-shards S] [--deadline MS] [--deterministic]
+//                 [--trace FILE] [--trace-summary]
+//
+// Reads newline-delimited JSON jobs from stdin (protocol in
+// src/oregami/server/wire.hpp), emits one JSON result line per job on
+// stdout in completion order, and prints a one-line JSON stats summary
+// on stderr at shutdown. Bad jobs produce structured error lines, not
+// process exits; the daemon drains every admitted job on EOF or
+// SIGINT before exiting.
+//
+//   $ printf '%s\n' \
+//       '{"id":1,"program":"jacobi","bind":{"n":8,"iters":10},"topology":"mesh:4x4"}' \
+//     | oregami_serve
+//
+// Exit codes: 0 clean drain (even if every job failed), 2 usage error,
+// 1 internal error.
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "oregami/server/server.hpp"
+#include "oregami/support/trace.hpp"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <signal.h>
+#endif
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_sigint(int) {
+  // Stop admitting; in-flight jobs drain. A second ^C kills via the
+  // restored default handler.
+  g_stop.store(true, std::memory_order_relaxed);
+#if defined(__linux__) || defined(__APPLE__)
+  std::signal(SIGINT, SIG_DFL);
+#endif
+}
+
+int usage() {
+  std::cerr
+      << "usage: oregami_serve [options]  (jobs on stdin, results on "
+         "stdout)\n"
+      << "  --jobs J            worker threads (0 = all cores; default 1)\n"
+      << "  --queue-capacity N  admission bound: reject jobs (code 5) when\n"
+      << "                      N are already pending (default 64)\n"
+      << "  --cache-capacity N  resident result-cache entries "
+         "(default 1024)\n"
+      << "  --cache-shards S    cache lock stripes (default 8)\n"
+      << "  --deadline MS       default per-job deadline; jobs may "
+         "override\n"
+      << "                      with \"deadline_ms\" (0 = none)\n"
+      << "  --deterministic     print wall_ms as 0.000 (byte-stable "
+         "output)\n"
+      << "  --trace FILE        write a Chrome trace-event JSON of the "
+         "run\n"
+      << "  --trace-summary     print the ASCII span tree to stderr\n"
+      << "exit codes: 0 clean drain, 1 internal error, 2 usage\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    oregami::server::ServerOptions options;
+    std::optional<std::string> trace_file;
+    bool trace_summary = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next_int = [&](long long lo, long long hi,
+                          const char* what) -> std::optional<long long> {
+        if (i + 1 >= argc) {
+          std::cerr << arg << " needs an argument\n";
+          return std::nullopt;
+        }
+        try {
+          const long long v = std::stoll(argv[++i]);
+          if (v < lo || v > hi) {
+            std::cerr << arg << " expects " << what << "\n";
+            return std::nullopt;
+          }
+          return v;
+        } catch (const std::exception&) {
+          std::cerr << "bad " << arg << " value '" << argv[i] << "'\n";
+          return std::nullopt;
+        }
+      };
+      if (arg == "--jobs") {
+        const auto v = next_int(0, 4096, "J >= 0 (0 = all cores)");
+        if (!v) return usage();
+        options.jobs = static_cast<int>(*v);
+      } else if (arg == "--queue-capacity") {
+        const auto v = next_int(1, 1 << 20, "N >= 1");
+        if (!v) return usage();
+        options.queue_capacity = static_cast<int>(*v);
+      } else if (arg == "--cache-capacity") {
+        const auto v = next_int(1, 1LL << 30, "N >= 1");
+        if (!v) return usage();
+        options.cache_capacity = static_cast<std::size_t>(*v);
+      } else if (arg == "--cache-shards") {
+        const auto v = next_int(1, 256, "1 <= S <= 256");
+        if (!v) return usage();
+        options.cache_shards = static_cast<int>(*v);
+      } else if (arg == "--deadline") {
+        // Negative = already expired: deterministic, used by tests.
+        const auto v = next_int(-1, 1LL << 40, "MS >= -1");
+        if (!v) return usage();
+        options.default_deadline_ms = *v;
+      } else if (arg == "--deterministic") {
+        options.deterministic = true;
+      } else if (arg == "--trace") {
+        if (i + 1 >= argc) {
+          std::cerr << "--trace needs an argument\n";
+          return usage();
+        }
+        trace_file = argv[++i];
+      } else if (arg == "--trace-summary") {
+        trace_summary = true;
+      } else {
+        std::cerr << "unknown option '" << arg << "'\n";
+        return usage();
+      }
+    }
+
+#if defined(__linux__) || defined(__APPLE__)
+    // No SA_RESTART: ^C interrupts the blocking stdin read so the
+    // drain runs instead of waiting for the next input line.
+    struct sigaction sa = {};
+    sa.sa_handler = handle_sigint;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+#else
+    std::signal(SIGINT, handle_sigint);
+#endif
+
+    if (trace_file || trace_summary) {
+      oregami::trace::enable();
+    }
+    const oregami::server::ServerStats stats =
+        oregami::server::serve(std::cin, std::cout, options, &g_stop);
+    std::cerr << stats.to_json() << "\n";
+
+    if (trace_file || trace_summary) {
+      oregami::trace::disable();
+      const auto events = oregami::trace::snapshot();
+      if (trace_file) {
+        std::ofstream out(*trace_file);
+        if (!out) {
+          std::cerr << "warning: cannot write trace to '" << *trace_file
+                    << "'\n";
+        } else {
+          oregami::trace::write_chrome_json(out, events);
+        }
+      }
+      if (trace_summary) {
+        std::cerr << oregami::trace::summary_tree(events);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return 1;
+  }
+}
