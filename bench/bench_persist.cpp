@@ -1,0 +1,269 @@
+// Persistence evidence for the mapping server: the cost of crash
+// safety and the payoff of a warm boot. Replays the catalog stream
+// through serve() with a cache journal attached (cold boot, journal
+// growing), then simulates a daemon restart -- fresh cache, recover
+// the journal from disk, replay again -- and reports cold-boot vs
+// warm-boot throughput, journal replay rate, and per-append journal
+// latency. Extends BENCH_server.json with the "persist_*" series,
+// then runs the google-benchmark micro timings (record encode,
+// journal append, file recovery).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "oregami/larcs/programs.hpp"
+#include "oregami/server/persist.hpp"
+#include "oregami/server/result_cache.hpp"
+#include "oregami/server/server.hpp"
+#include "oregami/support/text_table.hpp"
+
+namespace {
+
+using namespace oregami;
+
+/// Replay stream: every catalog program on two topologies, repeated
+/// until `total` lines (same shape as bench_server's stream, plain
+/// mapping options so the bench stays fast on one core).
+std::string replay_stream(int total) {
+  const auto catalog = larcs::programs::catalog();
+  std::vector<std::string> unique;
+  for (const auto& entry : catalog) {
+    for (const char* topo : {"mesh:4x4", "ring:16"}) {
+      std::string line = "\"program\":\"" + entry.name + "\",\"bind\":{";
+      bool first = true;
+      for (const auto& [name, value] : entry.example_bindings) {
+        if (!first) {
+          line += ',';
+        }
+        first = false;
+        line += "\"" + name + "\":" + std::to_string(value);
+      }
+      line += "},\"topology\":\"" + std::string(topo) + "\"";
+      unique.push_back(line);
+    }
+  }
+  std::string stream;
+  for (int i = 0; i < total; ++i) {
+    stream += "{\"id\":" + std::to_string(i + 1) + "," +
+              unique[static_cast<std::size_t>(i) % unique.size()] + "}\n";
+  }
+  return stream;
+}
+
+struct ReplayResult {
+  double wall_s = 0.0;
+  double jobs_per_sec = 0.0;
+  server::ServerStats stats;
+};
+
+ReplayResult replay(const std::string& stream, server::ResultCache& cache,
+                    server::CacheJournal* journal) {
+  server::ServerOptions options;
+  options.jobs = 1;
+  options.queue_capacity = 1 << 12;
+  options.cache = &cache;
+  options.journal = journal;
+  std::istringstream in(stream);
+  std::ostringstream out;
+  const auto start = std::chrono::steady_clock::now();
+  ReplayResult r;
+  r.stats = server::serve(in, out, options);
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+  r.jobs_per_sec =
+      r.wall_s > 0 ? static_cast<double>(r.stats.ok) / r.wall_s : 0.0;
+  return r;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+server::CachedOutcome sample_outcome(int tasks) {
+  server::CachedOutcome outcome;
+  outcome.ok = true;
+  outcome.strategy = "contraction";
+  outcome.completion = 1234;
+  outcome.external_ipc = 567;
+  outcome.max_load = 89;
+  outcome.num_procs = 16;
+  for (int t = 0; t < tasks; ++t) {
+    outcome.proc_of_task.push_back(t % 16);
+  }
+  return outcome;
+}
+
+constexpr int kTotalJobs = 100;
+constexpr int kAppendSamples = 512;
+
+void print_figures_and_json() {
+  bench::print_header(
+      "crash-safe persistence: cold boot vs journal-warm boot, journal "
+      "append latency");
+
+  const std::string path = "bench_persist_cache.bin";
+  std::remove(path.c_str());
+  const std::string stream = replay_stream(kTotalJobs);
+
+  // Cold boot: empty cache, empty journal; every unique job computes
+  // and every computed result is journaled as it happens.
+  double cold_jobs_per_sec = 0.0;
+  std::int64_t appended = 0;
+  {
+    server::ResultCache cache(1024, 8);
+    server::CacheJournal journal(path, cache);
+    (void)journal.open_and_recover();
+    const ReplayResult cold = replay(stream, cache, &journal);
+    journal.flush();
+    cold_jobs_per_sec = cold.jobs_per_sec;
+    appended = journal.stats().appended;
+  }
+
+  // Restart: fresh cache, recover the journal from disk (timed), then
+  // replay the same stream -- every job is now a cache hit.
+  const auto recover_start = std::chrono::steady_clock::now();
+  server::ResultCache cache(1024, 8);
+  server::CacheJournal journal(path, cache);
+  const server::RecoveryStats recovery = journal.open_and_recover();
+  const double recover_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    recover_start)
+          .count();
+  const double restored_per_sec =
+      recover_s > 0 ? static_cast<double>(recovery.restored) / recover_s
+                    : 0.0;
+  const ReplayResult warm = replay(stream, cache, &journal);
+
+  // Journal append latency, measured directly against a side journal.
+  const std::string append_path = "bench_persist_append.bin";
+  std::remove(append_path.c_str());
+  std::vector<double> append_us;
+  {
+    server::ResultCache side(4096, 8);
+    server::CacheJournal side_journal(append_path, side,
+                                      /*compact_every=*/1 << 20);
+    (void)side_journal.open_and_recover();
+    const server::CachedOutcome outcome = sample_outcome(64);
+    for (int i = 0; i < kAppendSamples; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)side_journal.append(static_cast<std::uint64_t>(i) + 1, outcome);
+      append_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  }
+  std::remove(append_path.c_str());
+
+  const double speedup =
+      cold_jobs_per_sec > 0 ? warm.jobs_per_sec / cold_jobs_per_sec : 0.0;
+  const double append_p50 = percentile(append_us, 0.50);
+  const double append_p99 = percentile(append_us, 0.99);
+
+  TextTable table({"phase", "mappings/sec", "hits", "misses"});
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.1f", cold_jobs_per_sec);
+  table.add_row({"cold boot (journaling)", rate, "-", "-"});
+  std::snprintf(rate, sizeof(rate), "%.1f", warm.jobs_per_sec);
+  table.add_row({"warm boot (journal replay)", rate,
+                 std::to_string(warm.stats.cache_hits),
+                 std::to_string(warm.stats.cache_misses)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "journal: %lld appended; replay restored %lld entries in %.3f ms "
+      "(%.0f/s)\n",
+      static_cast<long long>(appended),
+      static_cast<long long>(recovery.restored), recover_s * 1e3,
+      restored_per_sec);
+  std::printf("append latency: p50 %.1f us, p99 %.1f us (%d samples)\n",
+              append_p50, append_p99, kAppendSamples);
+  std::printf("warm-boot/cold-boot throughput: %.1fx\n", speedup);
+
+  bench::JsonReport json("BENCH_server.json");
+  json.load();
+  json.add("persist_cold_boot_mappings_per_sec", cold_jobs_per_sec, "1/s");
+  json.add("persist_warm_boot_mappings_per_sec", warm.jobs_per_sec, "1/s");
+  json.add("persist_warm_boot_speedup", speedup, "x");
+  json.add("persist_recovery_entries_per_sec", restored_per_sec, "1/s");
+  json.add("persist_append_p50_us", append_p50, "us");
+  json.add("persist_append_p99_us", append_p99, "us");
+  json.add_counter("persist_journal_appended", appended);
+  json.add_counter("persist_recovery_restored", recovery.restored);
+  json.write();
+
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// ------------------------------------------------- micro benchmarks
+
+void BM_EncodeRecord(benchmark::State& state) {
+  const server::CachedOutcome outcome = sample_outcome(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server::encode_record(0xabcdef12ULL, outcome));
+  }
+}
+BENCHMARK(BM_EncodeRecord);
+
+void BM_JournalAppend(benchmark::State& state) {
+  const std::string path = "bench_persist_bm_append.bin";
+  std::remove(path.c_str());
+  server::ResultCache cache(64, 4);
+  server::CacheJournal journal(path, cache, /*compact_every=*/1 << 20);
+  (void)journal.open_and_recover();
+  const server::CachedOutcome outcome = sample_outcome(64);
+  std::uint64_t digest = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(journal.append(digest++, outcome));
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_RecoverFile(benchmark::State& state) {
+  // Recovery cost of a 256-entry snapshot (the default compaction
+  // cadence): read, checksum, decode, insert.
+  const std::string path = "bench_persist_bm_recover.bin";
+  std::string file = server::encode_header();
+  for (int i = 0; i < 256; ++i) {
+    file += server::encode_record(static_cast<std::uint64_t>(i) + 1,
+                                  sample_outcome(64));
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  }
+  for (auto _ : state) {
+    server::ResultCache cache(1024, 8);
+    benchmark::DoNotOptimize(server::recover_cache_file(path, cache));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_RecoverFile);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures_and_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -83,6 +83,21 @@ bool ResultCache::contains(std::uint64_t digest) const {
   return shard.map.find(digest) != shard.map.end();
 }
 
+std::vector<std::pair<std::uint64_t, std::shared_ptr<const CachedOutcome>>>
+ResultCache::snapshot_entries() const {
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const CachedOutcome>>>
+      entries;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [digest, slot] : shard->map) {
+      entries.emplace_back(digest, slot.outcome);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace oregami::server {
@@ -76,6 +77,14 @@ class ResultCache {
 
   /// True when `digest` is resident (no LRU refresh, no counter).
   [[nodiscard]] bool contains(std::uint64_t digest) const;
+
+  /// Every resident entry, sorted by digest: a deterministic snapshot
+  /// for the persistence layer's compaction (the shared_ptr values
+  /// keep entries alive across concurrent eviction). Takes each
+  /// shard's lock in turn, never all at once.
+  [[nodiscard]] std::vector<
+      std::pair<std::uint64_t, std::shared_ptr<const CachedOutcome>>>
+  snapshot_entries() const;
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

@@ -1,5 +1,6 @@
 #include "oregami/server/server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <fstream>
@@ -9,9 +10,11 @@
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "oregami/arch/topology_spec.hpp"
 #include "oregami/larcs/compiler.hpp"
@@ -19,8 +22,10 @@
 #include "oregami/larcs/programs.hpp"
 #include "oregami/metrics/completion_model.hpp"
 #include "oregami/server/digest.hpp"
+#include "oregami/server/persist.hpp"
 #include "oregami/server/wire.hpp"
 #include "oregami/support/deadline.hpp"
+#include "oregami/support/failpoint.hpp"
 #include "oregami/support/error.hpp"
 #include "oregami/support/thread_pool.hpp"
 #include "oregami/support/thread_safe_queue.hpp"
@@ -149,6 +154,7 @@ struct ServeState {
 
   std::atomic<std::int64_t> ok{0};
   std::atomic<std::int64_t> errors{0};
+  std::atomic<std::int64_t> abandoned{0};
   std::atomic<std::int64_t> cache_hits{0};
   std::atomic<std::int64_t> cache_misses{0};
 
@@ -156,6 +162,21 @@ struct ServeState {
   std::mutex done_mutex;
   std::condition_variable all_done;
   int outstanding = 0;
+
+  /// Watchdog registry: one ticket per admitted job with a positive
+  /// deadline. Whoever flips `claimed` first -- the worker finishing
+  /// or the watchdog at expiry -- emits the job's single result line
+  /// and settles the drain count; the loser stays silent.
+  struct Ticket {
+    std::string id;
+    std::size_t line = 0;
+    std::chrono::steady_clock::time_point expiry;
+    std::shared_ptr<std::atomic<bool>> claimed;
+  };
+  std::mutex watch_mutex;
+  std::condition_variable watch_cv;
+  std::vector<Ticket> watch;
+  bool watch_closed = false;
 
   void job_finished() {
     {
@@ -166,18 +187,81 @@ struct ServeState {
   }
 };
 
+/// The watchdog body: sleeps until the earliest unexpired ticket, and
+/// abandons (code 6) every job whose worker has not claimed it by its
+/// expiry. The daemon keeps draining -- the stuck worker's eventual
+/// line is discarded by the claimed flag.
+void run_watchdog(ServeState& state) {
+  std::unique_lock<std::mutex> lock(state.watch_mutex);
+  for (;;) {
+    if (state.watch_closed) {
+      return;  // drain finished: every remaining ticket is claimed
+    }
+    // Tickets claimed by their worker are dead weight; drop them so
+    // the scan below never waits on one.
+    state.watch.erase(
+        std::remove_if(state.watch.begin(), state.watch.end(),
+                       [](const ServeState::Ticket& t) {
+                         return t.claimed->load(std::memory_order_relaxed);
+                       }),
+        state.watch.end());
+    if (state.watch.empty()) {
+      state.watch_cv.wait(lock);
+      continue;
+    }
+    const auto it = std::min_element(
+        state.watch.begin(), state.watch.end(),
+        [](const ServeState::Ticket& a, const ServeState::Ticket& b) {
+          return a.expiry < b.expiry;
+        });
+    if (it->expiry > std::chrono::steady_clock::now()) {
+      state.watch_cv.wait_until(lock, it->expiry);
+      continue;
+    }
+    ServeState::Ticket ticket = std::move(*it);
+    state.watch.erase(it);
+    lock.unlock();
+    if (!ticket.claimed->exchange(true)) {
+      state.results.push(format_error_result(
+          ticket.id, ticket.line, kJobDeadline,
+          "job " + ticket.id + ": deadline expired; result abandoned"));
+      state.errors.fetch_add(1, std::memory_order_relaxed);
+      state.abandoned.fetch_add(1, std::memory_order_relaxed);
+      state.job_finished();
+    }
+    lock.lock();
+  }
+}
+
 /// The per-job worker body: compile, digest, cache/single-flight,
-/// format, emit. Never throws.
+/// format, emit. Never throws. `claimed` (when the job has a watchdog
+/// ticket) gates emission: if the watchdog claimed the job first, the
+/// line is discarded -- but the computed outcome was already cached
+/// and journaled, so the work is not wasted.
 void run_job(ServeState& state, const WireJob& job,
              std::chrono::steady_clock::time_point admitted,
-             const ServerOptions& opts) {
+             const ServerOptions& opts,
+             const std::shared_ptr<std::atomic<bool>>& claimed) {
   std::string line;
+  bool is_ok = false;
   try {
     Deadline deadline(job.deadline_ms != 0 ? job.deadline_ms
                                            : opts.default_deadline_ms);
     if (deadline.passed()) {
       throw WireError(kJobDeadline,
                       "job " + job.id + ": deadline expired before start");
+    }
+    // Chaos site for the worker itself, keyed by the job's input line
+    // so a schedule fires on the same job at any worker count: `throw`
+    // models a crashing mapper (code 1), `hang` a stuck one (the
+    // watchdog's prey).
+    const auto fp = failpoint::evaluate(
+        "job.run", static_cast<std::int64_t>(job.line));
+    if (fp.action == failpoint::Action::Throw) {
+      throw std::runtime_error("injected failure (failpoint job.run)");
+    }
+    if (fp.action == failpoint::Action::Hang) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fp.arg));
     }
     const CompiledJob cj = compile_job(job);
     const std::uint64_t digest =
@@ -211,6 +295,11 @@ void run_job(ServeState& state, const WireJob& job,
     if (computing) {
       outcome = compute_outcome(job, cj);
       state.cache->insert(digest, outcome);
+      if (opts.journal != nullptr) {
+        // Best-effort: a failed append degrades persistence, never
+        // the job (the outcome lives on in memory).
+        (void)opts.journal->append(digest, *outcome);
+      }
       promise.set_value(outcome);
       {
         const std::lock_guard<std::mutex> lock(state.inflight_mutex);
@@ -234,19 +323,24 @@ void run_job(ServeState& state, const WireJob& job,
                   .count();
     if (outcome->ok) {
       line = format_ok_result(job.id, digest, hit, *outcome, wall_ms);
-      state.ok.fetch_add(1, std::memory_order_relaxed);
+      is_ok = true;
     } else {
       line = format_error_result(job.id, job.line, outcome->error_code,
                                  outcome->error);
-      state.errors.fetch_add(1, std::memory_order_relaxed);
     }
   } catch (const WireError& e) {
     line = format_error_result(job.id, job.line, e.code(), e.what());
-    state.errors.fetch_add(1, std::memory_order_relaxed);
   } catch (const std::exception& e) {
     line = format_error_result(job.id, job.line, kJobInternal,
                                "job " + job.id + ": internal error: " +
                                    e.what());
+  }
+  if (claimed != nullptr && claimed->exchange(true)) {
+    return;  // the watchdog already emitted this job's code-6 line
+  }
+  if (is_ok) {
+    state.ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
     state.errors.fetch_add(1, std::memory_order_relaxed);
   }
   state.results.push(std::move(line));
@@ -260,6 +354,7 @@ std::string ServerStats::to_json() const {
   out += ",\"ok\":" + std::to_string(ok);
   out += ",\"errors\":" + std::to_string(errors);
   out += ",\"rejected\":" + std::to_string(rejected);
+  out += ",\"abandoned\":" + std::to_string(abandoned);
   out += ",\"cache_hits\":" + std::to_string(cache_hits);
   out += ",\"cache_misses\":" + std::to_string(cache_misses);
   out += ",\"cache_evictions\":" + std::to_string(cache_evictions);
@@ -284,6 +379,7 @@ ServerStats serve(std::istream& in, std::ostream& out,
       out << *line << '\n' << std::flush;
     }
   });
+  std::thread watchdog([&state] { run_watchdog(state); });
 
   {
     // Pool scope: destroying the pool joins the workers, but drain is
@@ -313,14 +409,25 @@ ServerStats serve(std::istream& in, std::ostream& out,
       }
 
       // Admission control: reject instead of buffering without bound.
+      // The server.admit chaos site (keyed by input line) forces
+      // rejection bursts without actually saturating the pool.
       const int depth = pool.pending();
       trace::counter("server/queue_depth", depth);
-      if (depth >= capacity) {
+      const bool forced_reject =
+          failpoint::evaluate("server.admit",
+                              static_cast<std::int64_t>(job.line))
+              .action != failpoint::Action::None;
+      if (forced_reject || depth >= capacity) {
+        // The backoff hint is a pure function of the observed depth
+        // (~5 ms of drain headroom per pending job), so a replayed
+        // stream rejects with identical hints.
+        const std::int64_t retry_after_ms = 5 * (depth > 0 ? depth : 1);
         state.results.push(format_error_result(
             job.id, job.line, kJobRejected,
             "job " + job.id + ": rejected: queue full (" +
                 std::to_string(depth) + " jobs pending, capacity " +
-                std::to_string(capacity) + ")"));
+                std::to_string(capacity) + ")",
+            retry_after_ms));
         ++stats.rejected;
         ++stats.errors;
         continue;
@@ -331,10 +438,26 @@ ServerStats serve(std::istream& in, std::ostream& out,
         ++state.outstanding;
       }
       const auto admitted = std::chrono::steady_clock::now();
-      auto future = pool.submit(
-          [&state, job = std::move(job), admitted, &options]() mutable {
-            run_job(state, job, admitted, options);
-          });
+      // Jobs with a real (positive) deadline get a watchdog ticket so
+      // a stuck worker cannot stall the stream past its deadline.
+      const std::int64_t deadline_ms =
+          job.deadline_ms != 0 ? job.deadline_ms
+                               : options.default_deadline_ms;
+      std::shared_ptr<std::atomic<bool>> claimed;
+      if (deadline_ms > 0) {
+        claimed = std::make_shared<std::atomic<bool>>(false);
+        {
+          const std::lock_guard<std::mutex> lock(state.watch_mutex);
+          state.watch.push_back(ServeState::Ticket{
+              job.id, job.line,
+              admitted + std::chrono::milliseconds(deadline_ms), claimed});
+        }
+        state.watch_cv.notify_all();
+      }
+      auto future = pool.submit([&state, job = std::move(job), admitted,
+                                 &options, claimed]() mutable {
+        run_job(state, job, admitted, options, claimed);
+      });
       (void)future;  // completion is tracked via ServeState::outstanding
     }
 
@@ -343,11 +466,18 @@ ServerStats serve(std::istream& in, std::ostream& out,
     state.all_done.wait(lock, [&state] { return state.outstanding == 0; });
   }
 
+  {
+    const std::lock_guard<std::mutex> lock(state.watch_mutex);
+    state.watch_closed = true;
+  }
+  state.watch_cv.notify_all();
+  watchdog.join();
   state.results.close();
   writer.join();
 
   stats.ok = state.ok.load();
   stats.errors += state.errors.load();
+  stats.abandoned = state.abandoned.load();
   stats.cache_hits = state.cache_hits.load();
   stats.cache_misses = state.cache_misses.load();
   const ResultCache::Stats cache_after = state.cache->stats();

@@ -18,7 +18,11 @@
 //     *totals* are deterministic too, via single-flight deduplication
 //     of concurrent identical jobs; the per-line hit/miss label of
 //     *identical concurrent* jobs is the one schedule-dependent bit);
-//   * shutdown: EOF (or the stop flag, wired to SIGINT by
+//   * a watchdog abandons jobs that outrun their Deadline: the code-6
+//     line is emitted at expiry and the daemon keeps draining while
+//     the stuck worker finishes (its result line is discarded, its
+//     computed outcome is still cached);
+//   * shutdown: EOF (or the stop flag, wired to SIGINT/SIGTERM by
 //     oregami_serve) stops admission, drains every submitted job,
 //     flushes the writer, and returns the final stats.
 #pragma once
@@ -31,6 +35,8 @@
 #include "oregami/server/result_cache.hpp"
 
 namespace oregami::server {
+
+class CacheJournal;
 
 struct ServerOptions {
   int jobs = 1;  ///< worker threads; 0 = hardware_concurrency
@@ -49,6 +55,11 @@ struct ServerOptions {
   /// outlive the call). Lets a caller keep the cache warm across
   /// serve() calls -- the bench replays the same stream cold then warm.
   ResultCache* cache = nullptr;
+  /// Crash-safe persistence (persist.hpp; not owned; must outlive the
+  /// call and wrap the same cache as `cache`): every computed outcome
+  /// is journaled after its cache insert, so a restarted daemon boots
+  /// warm. nullptr = in-memory only.
+  CacheJournal* journal = nullptr;
 };
 
 struct ServerStats {
@@ -56,6 +67,11 @@ struct ServerStats {
   std::int64_t ok = 0;        ///< successful result lines
   std::int64_t errors = 0;    ///< error result lines (all codes)
   std::int64_t rejected = 0;  ///< subset of errors: admission rejections
+  /// Subset of errors: jobs whose worker outran its Deadline and whose
+  /// code-6 line was emitted by the watchdog instead (the worker's
+  /// eventual result is discarded; its computed outcome is still
+  /// cached).
+  std::int64_t abandoned = 0;
   /// Jobs served without computing a mapping: a cache hit or a join
   /// onto an identical in-flight job. Deterministic for a fixed stream
   /// (when the cache capacity covers the unique jobs).

@@ -566,7 +566,8 @@ std::string format_ok_result(const std::string& id, std::uint64_t digest,
 
 std::string format_error_result(const std::string& id,
                                 std::size_t line_number, int code,
-                                const std::string& message) {
+                                const std::string& message,
+                                std::int64_t retry_after_ms) {
   std::string out = "{\"id\":";
   if (id.empty()) {
     out += "null";
@@ -575,6 +576,9 @@ std::string format_error_result(const std::string& id,
   }
   out += ",\"line\":" + std::to_string(line_number);
   out += ",\"status\":\"error\",\"code\":" + std::to_string(code);
+  if (retry_after_ms >= 0) {
+    out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
+  }
   out += ",\"error\":\"" + json_escape(message) + "\"}";
   return out;
 }

@@ -97,10 +97,12 @@ struct WireJob {
 
 /// Renders an error result line (no trailing newline). `id` may be
 /// empty when the line never parsed far enough to yield one.
-[[nodiscard]] std::string format_error_result(const std::string& id,
-                                              std::size_t line_number,
-                                              int code,
-                                              const std::string& message);
+/// `retry_after_ms` >= 0 adds a "retry_after_ms" backoff hint (emitted
+/// by code-5 rejections, derived deterministically from queue depth);
+/// the default -1 omits the field.
+[[nodiscard]] std::string format_error_result(
+    const std::string& id, std::size_t line_number, int code,
+    const std::string& message, std::int64_t retry_after_ms = -1);
 
 /// JSON string escaping (shared with the formatters; exposed for
 /// tests and tools).

@@ -118,3 +118,46 @@ expect_serve_exit(2 "" --frobnicate)
 expect_serve_exit(2 "" --jobs -2)
 expect_serve_exit(2 "" --queue-capacity 0)
 expect_serve_exit(2 "" --cache-capacity x)
+
+# 2: a bad --failpoints schedule is a usage error (quotable message on
+# stderr); a valid schedule that injects a per-job failure is not -- the
+# failure becomes a code-1 result line and the drain still exits 0.
+expect_serve_exit(2 "" --failpoints "a.b:frobnicate")
+expect_serve_exit(2 "" --failpoints "a.b:err@p5")
+expect_serve_exit(0 "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},\"topology\":\"mesh:4x4\"}"
+                  --failpoints "job.run:throw@1")
+
+# ---------------------------------------------------------------------
+# Crash-safe persistence: --cache-file cold boot, warm boot, and a
+# degraded (unwritable) path must all drain to exit 0; the persisted
+# file is inspectable via oregami_map --cache-file (0 valid, 3 missing).
+# ---------------------------------------------------------------------
+set(CACHE_FILE ${CMAKE_CURRENT_BINARY_DIR}/exit_codes_cache.bin)
+file(REMOVE ${CACHE_FILE})
+expect_serve_exit(0 "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},\"topology\":\"mesh:4x4\"}"
+                  --cache-file ${CACHE_FILE})
+if(NOT EXISTS ${CACHE_FILE})
+  message(FATAL_ERROR "oregami_serve --cache-file did not create ${CACHE_FILE}")
+endif()
+expect_serve_exit(0 "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},\"topology\":\"mesh:4x4\"}"
+                  --cache-file ${CACHE_FILE})
+expect_serve_exit(0 "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},\"topology\":\"mesh:4x4\"}"
+                  --cache-file /nonexistent-dir/cache.bin)
+expect_exit(0 --cache-file ${CACHE_FILE})
+expect_exit(3 --cache-file ${CACHE_FILE}.does-not-exist)
+file(REMOVE ${CACHE_FILE})
+
+# ---------------------------------------------------------------------
+# Signals: SIGTERM is handled like SIGINT -- drain, flush, exit 0.
+# ---------------------------------------------------------------------
+if(UNIX)
+  # `sleep 3` keeps stdin open so the daemon is genuinely blocked in its
+  # read loop when SIGTERM arrives ($! is the last pipeline element).
+  execute_process(
+    COMMAND sh -c "sleep 3 | ${OREGAMI_SERVE} --deterministic > /dev/null 2>&1 & pid=$!; sleep 0.2; kill -TERM $pid 2>/dev/null; wait $pid"
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+            "oregami_serve under SIGTERM: expected clean exit 0, got ${code}")
+  endif()
+endif()

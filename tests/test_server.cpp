@@ -5,14 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "oregami/larcs/programs.hpp"
+#include "oregami/server/persist.hpp"
 #include "oregami/server/server.hpp"
 #include "oregami/server/wire.hpp"
+#include "oregami/support/failpoint.hpp"
 
 namespace oregami::server {
 namespace {
@@ -131,6 +134,16 @@ TEST(WireFormat, ErrorResultRendersNullIdWhenUnknown) {
   EXPECT_EQ(format_error_result("", 4, kJobMalformed, "bad \"x\""),
             "{\"id\":null,\"line\":4,\"status\":\"error\",\"code\":2,"
             "\"error\":\"bad \\\"x\\\"\"}");
+}
+
+TEST(WireFormat, ErrorResultCarriesRetryAfterHintWhenGiven) {
+  EXPECT_EQ(format_error_result("9", 2, kJobRejected, "queue full", 35),
+            "{\"id\":\"9\",\"line\":2,\"status\":\"error\",\"code\":5,"
+            "\"retry_after_ms\":35,\"error\":\"queue full\"}");
+  // The default omits the field entirely (non-rejection errors).
+  EXPECT_EQ(format_error_result("9", 2, kJobRejected, "queue full"),
+            "{\"id\":\"9\",\"line\":2,\"status\":\"error\",\"code\":5,"
+            "\"error\":\"queue full\"}");
 }
 
 // ------------------------------------------------------------- serve
@@ -337,12 +350,132 @@ TEST(Serve, StatsToJsonIsOneStableLine) {
   stats.ok = 3;
   stats.errors = 2;
   stats.rejected = 1;
+  stats.abandoned = 1;
   stats.cache_hits = 4;
   stats.cache_misses = 6;
   stats.cache_evictions = 7;
   EXPECT_EQ(stats.to_json(),
             "{\"lines\":5,\"ok\":3,\"errors\":2,\"rejected\":1,"
+            "\"abandoned\":1,"
             "\"cache_hits\":4,\"cache_misses\":6,\"cache_evictions\":7}");
+}
+
+// ------------------------------------------------- chaos & robustness
+
+/// Clears the global failpoint schedule even when a test fails.
+struct FailpointGuard {
+  ~FailpointGuard() { failpoint::clear(); }
+};
+
+TEST(Serve, WatchdogAbandonsHungJobsAndKeepsDraining) {
+  FailpointGuard guard;
+  // Job on input line 1 hangs far past its deadline; the watchdog must
+  // emit its code-6 line and the daemon must still finish job 2.
+  failpoint::configure("job.run:hang(400)@1");
+  const std::string stream =
+      "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\",\"deadline_ms\":60}\n"
+      "{\"id\":2,\"program\":\"sor\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\"}\n";
+  std::istringstream in(stream);
+  std::ostringstream out;
+  const ServerStats stats = serve(in, out, deterministic_options(2));
+  EXPECT_EQ(stats.lines, 2);
+  EXPECT_EQ(stats.ok, 1);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.abandoned, 1);
+  const std::string text = out.str();
+  expect_contains(text, "\"code\":6");
+  expect_contains(text, "deadline expired; result abandoned");
+  expect_contains(text, "\"id\":\"2\",\"status\":\"ok\"");
+  // Exactly one line per job even though worker and watchdog raced.
+  EXPECT_EQ(split_lines(text).size(), 2u);
+}
+
+TEST(Serve, ForcedRejectionCarriesDeterministicRetryAfterHint) {
+  FailpointGuard guard;
+  failpoint::configure("server.admit:err@2");
+  const std::string stream =
+      "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\"}\n"
+      "{\"id\":2,\"program\":\"sor\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\"}\n";
+  std::istringstream in(stream);
+  std::ostringstream out;
+  const ServerStats stats = serve(in, out, deterministic_options(1));
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.ok, 1);
+  const std::string text = out.str();
+  expect_contains(text, "\"code\":5");
+  expect_contains(text, "\"retry_after_ms\":");
+  expect_contains(text, "rejected: queue full");
+}
+
+TEST(Serve, FailpointChaosReplaysIdenticallyAcrossWorkerCounts) {
+  // Chaos sites on the job path key by the job's input line, so the
+  // same schedule perturbs the same jobs at any worker count.
+  const std::string stream = mixed_stream();
+  std::string runs[2];
+  const int workers[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    FailpointGuard guard;
+    failpoint::configure("job.run:throw@3,job.run:throw@7");
+    std::istringstream in(stream);
+    std::ostringstream out;
+    (void)serve(in, out, deterministic_options(workers[i]));
+    runs[i] = out.str();
+  }
+  EXPECT_EQ(normalized(runs[0]), normalized(runs[1]));
+  // And the injected failures really landed: jobs 3 and 7 are code 1.
+  expect_contains(runs[0], "\"id\":\"3\",\"line\":3,\"status\":\"error\","
+                           "\"code\":1");
+  expect_contains(runs[0], "injected failure (failpoint job.run)");
+}
+
+TEST(Serve, JournaledCacheRestoresWarmStateAcrossServeCalls) {
+  const std::string path =
+      testing::TempDir() + "serve_journal_roundtrip.bin";
+  std::remove(path.c_str());
+  const std::string stream =
+      "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\"}\n"
+      "{\"id\":2,\"program\":\"sor\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\"}\n";
+
+  std::string cold_text;
+  {
+    ResultCache cache(64, 4);
+    CacheJournal journal(path, cache);
+    const RecoveryStats recovery = journal.open_and_recover();
+    EXPECT_TRUE(recovery.missing);
+    ServerOptions options = deterministic_options(2);
+    options.cache = &cache;
+    options.journal = &journal;
+    std::istringstream in(stream);
+    std::ostringstream out;
+    const ServerStats cold = serve(in, out, options);
+    EXPECT_EQ(cold.cache_misses, 2);
+    EXPECT_EQ(journal.stats().appended, 2);
+    cold_text = out.str();
+  }
+
+  // A brand-new cache + journal (a restarted daemon) boots warm.
+  ResultCache cache(64, 4);
+  CacheJournal journal(path, cache);
+  const RecoveryStats recovery = journal.open_and_recover();
+  EXPECT_EQ(recovery.restored, 2);
+  EXPECT_EQ(recovery.skipped, 0);
+  ServerOptions options = deterministic_options(2);
+  options.cache = &cache;
+  options.journal = &journal;
+  std::istringstream in(stream);
+  std::ostringstream out;
+  const ServerStats warm = serve(in, out, options);
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(warm.cache_hits, 2);
+  EXPECT_EQ(normalized(cold_text), normalized(out.str()));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 }  // namespace

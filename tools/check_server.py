@@ -4,15 +4,21 @@
 Dependency-free (stdlib only). Validates that every line of a server
 result stream is a well-formed result object (ok results carry the full
 objective triple and a 16-hex digest; error results carry a contract
-code 1-6), and optionally writes a normalised copy for byte comparison
+code 1-6, and code-5 rejections may carry a "retry_after_ms" backoff
+hint), and optionally writes a normalised copy for byte comparison
 across runs and --jobs values: lines sorted by id, the volatile
-"wall_ms" field stripped, and the per-line "cache" hit/miss label
-blanked (which of several identical concurrent jobs computes vs joins
-is the one schedule-dependent bit; the totals are deterministic).
+"wall_ms" field stripped, the per-line "cache" hit/miss label blanked
+(which of several identical concurrent jobs computes vs joins is the
+one schedule-dependent bit; the totals are deterministic), and the
+depth-derived "retry_after_ms" hint stripped.
 
 Usage:
     check_server.py RESULTS.txt              # validate, exit 0/1
     check_server.py RESULTS.txt --norm OUT   # validate + normalised copy
+    check_server.py RESULTS.txt --norm OUT --exclude-ids 3,7
+                                 # drop ids 3 and 7 from the normalised
+                                 # copy (chaos runs: ids a failpoint
+                                 # schedule deliberately perturbed)
 """
 
 import argparse
@@ -26,6 +32,8 @@ OK_FIELDS = {
     "external_ipc", "max_load", "procs", "wall_ms",
 }
 ERROR_FIELDS = {"id", "line", "status", "error", "code"}
+# Optional on code-5 rejections only: the admission backoff hint.
+ERROR_OPTIONAL_FIELDS = {"retry_after_ms"}
 
 
 def check_line(obj, index, errors):
@@ -58,7 +66,7 @@ def check_line(obj, index, errors):
                 fail(f"{key} must be a non-negative int, got {obj[key]!r}")
     elif status == "error":
         missing = ERROR_FIELDS - obj.keys()
-        extra = obj.keys() - ERROR_FIELDS
+        extra = obj.keys() - ERROR_FIELDS - ERROR_OPTIONAL_FIELDS
         if missing:
             fail(f"error result missing fields {sorted(missing)}")
         if extra:
@@ -69,15 +77,34 @@ def check_line(obj, index, errors):
             fail(f"code must be in {sorted(ERROR_CODES)}, got {obj['code']!r}")
         if not isinstance(obj["error"], str) or not obj["error"]:
             fail("error must be a non-empty message")
+        if "retry_after_ms" in obj:
+            if obj["code"] != 5:
+                fail(
+                    "retry_after_ms is only valid on code-5 rejections, "
+                    f"got code {obj['code']!r}"
+                )
+            if not isinstance(obj["retry_after_ms"], int) or (
+                obj["retry_after_ms"] < 0
+            ):
+                fail(
+                    "retry_after_ms must be a non-negative int, got "
+                    f"{obj['retry_after_ms']!r}"
+                )
     else:
         fail(f"status must be 'ok' or 'error', got {status!r}")
 
 
-def normalised(results):
+def normalised(results, exclude_ids=()):
+    exclude = {str(i) for i in exclude_ids}
     out = []
     for obj in results:
+        if str(obj.get("id")) in exclude:
+            continue
         obj = dict(obj)
         obj.pop("wall_ms", None)
+        # The backoff hint is a function of the instantaneous queue
+        # depth, which is schedule-dependent; drop it like wall_ms.
+        obj.pop("retry_after_ms", None)
         if "cache" in obj:
             obj["cache"] = "?"
         out.append(obj)
@@ -95,6 +122,11 @@ def main():
     parser.add_argument(
         "--norm", metavar="OUT",
         help="write a normalised copy (sorted, volatile fields stripped)",
+    )
+    parser.add_argument(
+        "--exclude-ids", metavar="IDS", default="",
+        help="comma-separated ids to drop from the normalised copy "
+             "(for chaos-run diffs against a clean run)",
     )
     args = parser.parse_args()
 
@@ -120,8 +152,9 @@ def main():
         return 1
 
     if args.norm:
+        exclude_ids = [i for i in args.exclude_ids.split(",") if i]
         with open(args.norm, "w", encoding="utf-8") as handle:
-            for obj in normalised(results):
+            for obj in normalised(results, exclude_ids):
                 json.dump(obj, handle, sort_keys=True, separators=(",", ":"))
                 handle.write("\n")
 

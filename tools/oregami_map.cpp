@@ -41,6 +41,7 @@
 #include "oregami/metrics/render.hpp"
 #include "oregami/schedule/synchrony.hpp"
 #include "oregami/server/digest.hpp"
+#include "oregami/server/persist.hpp"
 #include "oregami/sim/network_sim.hpp"
 #include "oregami/support/error.hpp"
 #include "oregami/support/hash.hpp"
@@ -76,6 +77,7 @@ struct Options {
   bool explain = false;
   bool pareto = false;
   bool digest = false;
+  std::optional<std::string> cache_file;
   MapperOptions mapper;
 };
 
@@ -140,6 +142,10 @@ int usage(const char* argv0) {
       << "                         (program, topology, options) -- the\n"
       << "                         mapping server's cache key -- and exit\n"
       << "                         without mapping\n"
+      << "  --cache-file PATH      inspect a mapping-server cache file:\n"
+      << "                         print the recovery report and one line\n"
+      << "                         per valid entry (sorted by digest),\n"
+      << "                         then exit without mapping\n"
       << topology_spec_help() << "\n"
       << "exit codes: 0 ok, 1 internal error, 2 usage, 3 bad input, "
          "4 mapping infeasible\n";
@@ -231,6 +237,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.explain = true;
     } else if (arg == "--digest") {
       options.digest = true;
+    } else if (arg == "--cache-file") {
+      if (auto v = next()) {
+        options.cache_file = *v;
+      } else {
+        return std::nullopt;
+      }
     } else if (arg == "--heft") {
       options.mapper.heft = true;
     } else if (arg == "--multilevel") {
@@ -444,6 +456,37 @@ int map_and_report(const Options& options, const larcs::Program& ast,
   }
 }
 
+/// The --cache-file inspection mode: recover PATH exactly like the
+/// daemon would and print what a warm boot would serve. Deterministic
+/// output (entries sorted by digest), so two cache files can be
+/// diffed.
+int inspect_cache_file(const std::string& path) {
+  // Big enough that inspection never evicts what the file holds.
+  server::ResultCache cache(1 << 20, 1);
+  const server::RecoveryStats stats = server::recover_cache_file(path, cache);
+  if (stats.missing) {
+    std::cerr << "error: cannot open cache file '" << path << "'\n";
+    return kExitBadInput;
+  }
+  std::cout << "cache-file " << path << ": " << stats.to_string() << "\n";
+  for (const auto& [digest, outcome] : cache.snapshot_entries()) {
+    std::cout << digest_hex(digest) << "  ";
+    if (outcome->ok) {
+      std::cout << "ok     strategy=" << outcome->strategy
+                << " completion=" << outcome->completion
+                << " external_ipc=" << outcome->external_ipc
+                << " max_load=" << outcome->max_load
+                << " tasks=" << outcome->proc_of_task.size()
+                << " procs=" << outcome->num_procs;
+    } else {
+      std::cout << "error  code=" << outcome->error_code << " \""
+                << outcome->error << "\"";
+    }
+    std::cout << "\n";
+  }
+  return kExitOk;
+}
+
 int run(const Options& options) {
   // Input stage: everything that can fail here is the user's input, not
   // the pipeline -- unreadable files, unknown programs, malformed LaRCS
@@ -553,6 +596,9 @@ int main(int argc, char** argv) {
         std::cout << entry.name << binds << "\n";
       }
       return kExitOk;
+    }
+    if (options.cache_file) {
+      return inspect_cache_file(*options.cache_file);
     }
     if ((!options.larcs_file && !options.program_name) ||
         !options.topology_spec) {

@@ -2,14 +2,22 @@
 //
 //   oregami_serve [--jobs J] [--queue-capacity N] [--cache-capacity N]
 //                 [--cache-shards S] [--deadline MS] [--deterministic]
+//                 [--cache-file PATH] [--failpoints SCHED]
 //                 [--trace FILE] [--trace-summary]
 //
 // Reads newline-delimited JSON jobs from stdin (protocol in
 // src/oregami/server/wire.hpp), emits one JSON result line per job on
 // stdout in completion order, and prints a one-line JSON stats summary
 // on stderr at shutdown. Bad jobs produce structured error lines, not
-// process exits; the daemon drains every admitted job on EOF or
-// SIGINT before exiting.
+// process exits; the daemon drains every admitted job on EOF, SIGINT
+// or SIGTERM before exiting.
+//
+// --cache-file makes the result cache crash-safe (server/persist.hpp):
+// boot recovers every valid record of PATH into the cache (a warm
+// restart; the recovery report goes to stderr) and every computed
+// outcome is journaled, so even a kill -9 mid-write only costs the
+// torn tail. --failpoints arms the deterministic chaos schedule
+// (support/failpoint.hpp grammar).
 //
 //   $ printf '%s\n' \
 //       '{"id":1,"program":"jacobi","bind":{"n":8,"iters":10},"topology":"mesh:4x4"}' \
@@ -22,9 +30,12 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
+#include "oregami/server/persist.hpp"
 #include "oregami/server/server.hpp"
+#include "oregami/support/failpoint.hpp"
 #include "oregami/support/trace.hpp"
 
 #if defined(__linux__) || defined(__APPLE__)
@@ -35,12 +46,14 @@ namespace {
 
 std::atomic<bool> g_stop{false};
 
-extern "C" void handle_sigint(int) {
-  // Stop admitting; in-flight jobs drain. A second ^C kills via the
-  // restored default handler.
+extern "C" void handle_stop_signal(int sig) {
+  // Stop admitting; in-flight jobs drain and the journal flushes. A
+  // second signal kills via the restored default handler.
   g_stop.store(true, std::memory_order_relaxed);
 #if defined(__linux__) || defined(__APPLE__)
-  std::signal(SIGINT, SIG_DFL);
+  std::signal(sig, SIG_DFL);
+#else
+  (void)sig;
 #endif
 }
 
@@ -59,6 +72,13 @@ int usage() {
       << "                      with \"deadline_ms\" (0 = none)\n"
       << "  --deterministic     print wall_ms as 0.000 (byte-stable "
          "output)\n"
+      << "  --cache-file PATH   crash-safe cache persistence: recover "
+         "PATH\n"
+      << "                      on boot (warm restart), journal every\n"
+      << "                      computed outcome (report on stderr)\n"
+      << "  --failpoints SCHED  arm a deterministic chaos schedule, "
+         "e.g.\n"
+      << "                      \"persist.write:err@3,job.run:hang@7\"\n"
       << "  --trace FILE        write a Chrome trace-event JSON of the "
          "run\n"
       << "  --trace-summary     print the ASCII span tree to stderr\n"
@@ -72,6 +92,8 @@ int main(int argc, char** argv) {
   try {
     oregami::server::ServerOptions options;
     std::optional<std::string> trace_file;
+    std::optional<std::string> cache_file;
+    std::optional<std::string> failpoints;
     bool trace_summary = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -116,6 +138,18 @@ int main(int argc, char** argv) {
         options.default_deadline_ms = *v;
       } else if (arg == "--deterministic") {
         options.deterministic = true;
+      } else if (arg == "--cache-file") {
+        if (i + 1 >= argc) {
+          std::cerr << "--cache-file needs an argument\n";
+          return usage();
+        }
+        cache_file = argv[++i];
+      } else if (arg == "--failpoints") {
+        if (i + 1 >= argc) {
+          std::cerr << "--failpoints needs an argument\n";
+          return usage();
+        }
+        failpoints = argv[++i];
       } else if (arg == "--trace") {
         if (i + 1 >= argc) {
           std::cerr << "--trace needs an argument\n";
@@ -131,22 +165,64 @@ int main(int argc, char** argv) {
     }
 
 #if defined(__linux__) || defined(__APPLE__)
-    // No SA_RESTART: ^C interrupts the blocking stdin read so the
-    // drain runs instead of waiting for the next input line.
+    // No SA_RESTART: a signal interrupts the blocking stdin read so
+    // the drain runs instead of waiting for the next input line.
+    // SIGTERM gets the same graceful treatment as ^C: stop admitting,
+    // drain, flush the journal, exit 0.
     struct sigaction sa = {};
-    sa.sa_handler = handle_sigint;
+    sa.sa_handler = handle_stop_signal;
     sigemptyset(&sa.sa_mask);
     sa.sa_flags = 0;
     sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
 #else
-    std::signal(SIGINT, handle_sigint);
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
 #endif
+
+    if (failpoints) {
+      try {
+        oregami::failpoint::configure(*failpoints);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        return usage();
+      }
+    }
+
+    // The tool owns the cache (and journal) so warm state survives in
+    // one place: serve() borrows both.
+    oregami::server::ResultCache cache(options.cache_capacity,
+                                       options.cache_shards);
+    std::optional<oregami::server::CacheJournal> journal;
+    if (cache_file) {
+      options.cache = &cache;
+      journal.emplace(*cache_file, cache);
+      const auto recovery = journal->open_and_recover();
+      std::cerr << "cache-file " << *cache_file << ": "
+                << recovery.to_string() << "\n";
+      options.journal = &*journal;
+    }
 
     if (trace_file || trace_summary) {
       oregami::trace::enable();
     }
     const oregami::server::ServerStats stats =
         oregami::server::serve(std::cin, std::cout, options, &g_stop);
+    if (journal) {
+      journal->flush();
+      const auto pstats = journal->stats();
+      std::cerr << "cache-file " << *cache_file << ": appended "
+                << pstats.appended << ", compactions "
+                << pstats.compactions << ", io_errors " << pstats.io_errors
+                << (pstats.degraded ? ", persistence degraded" : "")
+                << "\n";
+    }
+    if (failpoints) {
+      const std::string fired = oregami::failpoint::report();
+      if (!fired.empty()) {
+        std::cerr << "failpoints: " << fired << "\n";
+      }
+    }
     std::cerr << stats.to_json() << "\n";
 
     if (trace_file || trace_summary) {
