@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "oregami/server/telemetry.hpp"
 #include "oregami/support/failpoint.hpp"
 #include "oregami/support/hash.hpp"
 
@@ -308,12 +309,21 @@ CacheJournal::~CacheJournal() {
 
 RecoveryStats CacheJournal::open_and_recover() {
   RecoveryStats recovery = recover_cache_file(path_, cache_);
+  if (metrics::enabled()) {
+    ServerMetrics& sm = server_metrics();
+    sm.recovery_restored.add(recovery.restored);
+    sm.recovery_skipped.add(recovery.skipped);
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t io_before = stats_.io_errors;
   // Boot always rewrites a compacted snapshot: it creates the file on
   // first boot, sheds skipped garbage and duplicates after a crash,
   // and replaces a version-skewed file with the current format.
   if (!compact_locked()) {
     stats_.degraded = true;
+  }
+  if (metrics::enabled()) {
+    server_metrics().persist_io_errors.add(stats_.io_errors - io_before);
   }
   return recovery;
 }
@@ -345,20 +355,41 @@ bool CacheJournal::write_record_locked(const std::string& record) {
 
 bool CacheJournal::append(std::uint64_t digest,
                           const CachedOutcome& outcome) {
+  const bool telemetry = metrics::enabled();
+  const auto start = std::chrono::steady_clock::now();
   const std::string record = encode_record(digest, outcome);
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (!write_record_locked(record)) {
-    return false;
+  const std::int64_t io_before = stats_.io_errors;
+  const bool wrote = write_record_locked(record);
+  if (wrote) {
+    ++stats_.appended;
+    if (compact_every_ > 0 && ++appends_since_compact_ >= compact_every_) {
+      // Best-effort: a failed compaction keeps the (valid) journal.
+      (void)compact_locked();
+    }
   }
-  ++stats_.appended;
-  if (compact_every_ > 0 && ++appends_since_compact_ >= compact_every_) {
-    // Best-effort: a failed compaction keeps the (valid) journal.
-    (void)compact_locked();
+  if (telemetry) {
+    ServerMetrics& sm = server_metrics();
+    sm.persist_append_us.record(elapsed_us(start));
+    if (wrote) sm.persist_appends.increment();
+    sm.persist_io_errors.add(stats_.io_errors - io_before);
   }
-  return true;
+  return wrote;
 }
 
 bool CacheJournal::compact_locked() {
+  const bool telemetry = metrics::enabled();
+  const auto start = std::chrono::steady_clock::now();
+  const bool ok = compact_locked_impl();
+  if (telemetry) {
+    ServerMetrics& sm = server_metrics();
+    sm.persist_compact_us.record(elapsed_us(start));
+    if (ok) sm.persist_compactions.increment();
+  }
+  return ok;
+}
+
+bool CacheJournal::compact_locked_impl() {
   // Assemble the whole snapshot in memory and write it with one call,
   // so one persist.write failpoint evaluation covers one snapshot.
   std::string snapshot = encode_header();
@@ -426,6 +457,8 @@ bool CacheJournal::compact() {
 }
 
 void CacheJournal::flush() {
+  const bool telemetry = metrics::enabled();
+  const auto start = std::chrono::steady_clock::now();
   const std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) {
     return;
@@ -437,8 +470,10 @@ void CacheJournal::flush() {
     (void)::fsync(fileno(file_));
   } else {
     ++stats_.io_errors;
+    if (telemetry) server_metrics().persist_io_errors.increment();
   }
 #endif
+  if (telemetry) server_metrics().persist_fsync_us.record(elapsed_us(start));
 }
 
 PersistStats CacheJournal::stats() const {

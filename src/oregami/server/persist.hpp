@@ -138,6 +138,7 @@ class CacheJournal {
  private:
   bool write_record_locked(const std::string& record);
   bool compact_locked();
+  bool compact_locked_impl();
 
   mutable std::mutex mutex_;
   std::string path_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "oregami/server/telemetry.hpp"
+
 namespace oregami::server {
 
 ResultCache::ResultCache(std::size_t capacity, int shards) {
@@ -74,6 +76,9 @@ void ResultCache::insert(std::uint64_t digest,
   }
   if (evicted > 0) {
     evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (metrics::enabled()) {
+      server_metrics().cache_evictions.add(evicted);
+    }
   }
 }
 

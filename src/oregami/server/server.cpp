@@ -23,6 +23,7 @@
 #include "oregami/metrics/completion_model.hpp"
 #include "oregami/server/digest.hpp"
 #include "oregami/server/persist.hpp"
+#include "oregami/server/telemetry.hpp"
 #include "oregami/server/wire.hpp"
 #include "oregami/support/deadline.hpp"
 #include "oregami/support/failpoint.hpp"
@@ -144,6 +145,9 @@ struct ServeState {
   ThreadSafeQueue<std::string> results;
   std::unique_ptr<ResultCache> owned_cache;
   ResultCache* cache;
+  /// Telemetry handles (registered once per process; recording is a
+  /// no-op while metrics are disabled).
+  ServerMetrics& sm = server_metrics();
 
   /// Single-flight: digest -> the future of the first (and only)
   /// computation in flight for it. Concurrent identical jobs join the
@@ -157,6 +161,7 @@ struct ServeState {
   std::atomic<std::int64_t> abandoned{0};
   std::atomic<std::int64_t> cache_hits{0};
   std::atomic<std::int64_t> cache_misses{0};
+  std::atomic<std::int64_t> deduped{0};
 
   /// Drain accounting: submitted jobs not yet fully emitted.
   std::mutex done_mutex;
@@ -179,6 +184,7 @@ struct ServeState {
   bool watch_closed = false;
 
   void job_finished() {
+    sm.inflight_jobs.add(-1);
     {
       const std::lock_guard<std::mutex> lock(done_mutex);
       --outstanding;
@@ -191,7 +197,7 @@ struct ServeState {
 /// abandons (code 6) every job whose worker has not claimed it by its
 /// expiry. The daemon keeps draining -- the stuck worker's eventual
 /// line is discarded by the claimed flag.
-void run_watchdog(ServeState& state) {
+void run_watchdog(ServeState& state, const ServerOptions& opts) {
   std::unique_lock<std::mutex> lock(state.watch_mutex);
   for (;;) {
     if (state.watch_closed) {
@@ -227,6 +233,15 @@ void run_watchdog(ServeState& state) {
           "job " + ticket.id + ": deadline expired; result abandoned"));
       state.errors.fetch_add(1, std::memory_order_relaxed);
       state.abandoned.fetch_add(1, std::memory_order_relaxed);
+      state.sm.watchdog_fired.increment();
+      state.sm.jobs_abandoned.increment();
+      if (opts.log != nullptr) {
+        opts.log->event(
+            EventLog::Level::kWarn,
+            static_cast<std::int64_t>(ticket.line), "job_abandoned",
+            "\"id\":\"" + json_escape(ticket.id) +
+                "\",\"line\":" + std::to_string(ticket.line));
+      }
       state.job_finished();
     }
     lock.lock();
@@ -242,8 +257,17 @@ void run_job(ServeState& state, const WireJob& job,
              std::chrono::steady_clock::time_point admitted,
              const ServerOptions& opts,
              const std::shared_ptr<std::atomic<bool>>& claimed) {
+  // One enabled-check up front keeps the disabled hot path at a single
+  // relaxed load for the whole function (elapsed_us and record() would
+  // each pay their own otherwise).
+  const bool telemetry = metrics::enabled();
+  if (telemetry) state.sm.queue_wait_us.record(elapsed_us(admitted));
   std::string line;
   bool is_ok = false;
+  bool hit = false;
+  int result_code = kJobOk;
+  std::uint64_t digest = 0;
+  bool have_digest = false;
   try {
     Deadline deadline(job.deadline_ms != 0 ? job.deadline_ms
                                            : opts.default_deadline_ms);
@@ -264,11 +288,10 @@ void run_job(ServeState& state, const WireJob& job,
       std::this_thread::sleep_for(std::chrono::milliseconds(fp.arg));
     }
     const CompiledJob cj = compile_job(job);
-    const std::uint64_t digest =
-        job_digest(cj.compiled.graph, cj.topo, job.options);
+    digest = job_digest(cj.compiled.graph, cj.topo, job.options);
+    have_digest = true;
 
     OutcomePtr outcome;
-    bool hit = false;
     std::shared_future<OutcomePtr> wait_on;
     std::promise<OutcomePtr> promise;
     bool computing = false;
@@ -293,6 +316,8 @@ void run_job(ServeState& state, const WireJob& job,
       }
     }
     if (computing) {
+      const auto compute_start = telemetry ? std::chrono::steady_clock::now()
+                                           : admitted;
       outcome = compute_outcome(job, cj);
       state.cache->insert(digest, outcome);
       if (opts.journal != nullptr) {
@@ -305,14 +330,19 @@ void run_job(ServeState& state, const WireJob& job,
         const std::lock_guard<std::mutex> lock(state.inflight_mutex);
         state.inflight.erase(digest);
       }
+      if (telemetry) state.sm.compute_us.record(elapsed_us(compute_start));
     } else if (!hit) {
       outcome = wait_on.get();  // join the identical in-flight job
       hit = true;
+      state.deduped.fetch_add(1, std::memory_order_relaxed);
+      state.sm.dedup_joins.increment();
     }
     if (hit) {
       state.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      state.sm.cache_hits.increment();
     } else {
       state.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      state.sm.cache_misses.increment();
     }
 
     const double wall_ms =
@@ -327,13 +357,16 @@ void run_job(ServeState& state, const WireJob& job,
     } else {
       line = format_error_result(job.id, job.line, outcome->error_code,
                                  outcome->error);
+      result_code = outcome->error_code;
     }
   } catch (const WireError& e) {
     line = format_error_result(job.id, job.line, e.code(), e.what());
+    result_code = e.code();
   } catch (const std::exception& e) {
     line = format_error_result(job.id, job.line, kJobInternal,
                                "job " + job.id + ": internal error: " +
                                    e.what());
+    result_code = kJobInternal;
   }
   if (claimed != nullptr && claimed->exchange(true)) {
     return;  // the watchdog already emitted this job's code-6 line
@@ -343,7 +376,49 @@ void run_job(ServeState& state, const WireJob& job,
   } else {
     state.errors.fetch_add(1, std::memory_order_relaxed);
   }
-  state.results.push(std::move(line));
+  if (telemetry) {
+    // Outcome partition (telemetry.hpp): tallied exactly where the
+    // job's single result line is emitted, so abandoned jobs (claimed
+    // above) never double-book.
+    const auto write_start = std::chrono::steady_clock::now();
+    if (!is_ok) {
+      state.sm.jobs_error.increment();
+      state.sm.wall_us_error.record(elapsed_us(admitted));
+    } else if (hit) {
+      state.sm.jobs_hit.increment();
+      state.sm.wall_us_hit.record(elapsed_us(admitted));
+    } else {
+      state.sm.jobs_miss.increment();
+      state.sm.wall_us_miss.record(elapsed_us(admitted));
+    }
+    state.results.push(std::move(line));
+    state.sm.write_us.record(elapsed_us(write_start));
+  } else {
+    state.results.push(std::move(line));
+  }
+  if (opts.log != nullptr) {
+    std::string fields = "\"id\":\"" + json_escape(job.id) +
+                         "\",\"line\":" + std::to_string(job.line);
+    if (is_ok) {
+      fields += ",\"status\":\"ok\",\"digest\":\"";
+      fields += digest_prefix(digest);
+      // The per-line hit/miss label of identical concurrent jobs is
+      // schedule-dependent; blank it in deterministic mode, exactly
+      // like the wire format's determinism contract.
+      fields += "\",\"cache\":\"";
+      fields += opts.deterministic ? "?" : (hit ? "hit" : "miss");
+      fields += "\"";
+    } else {
+      fields += ",\"status\":\"error\",\"code\":" +
+                std::to_string(result_code);
+      if (have_digest) {
+        fields += ",\"digest\":\"" + digest_prefix(digest) + "\"";
+      }
+    }
+    opts.log->event(EventLog::Level::kInfo,
+                    static_cast<std::int64_t>(job.line), "job_completed",
+                    fields);
+  }
   state.job_finished();
 }
 
@@ -379,7 +454,7 @@ ServerStats serve(std::istream& in, std::ostream& out,
       out << *line << '\n' << std::flush;
     }
   });
-  std::thread watchdog([&state] { run_watchdog(state); });
+  std::thread watchdog([&state, &options] { run_watchdog(state, options); });
 
   {
     // Pool scope: destroying the pool joins the workers, but drain is
@@ -397,6 +472,7 @@ ServerStats serve(std::istream& in, std::ostream& out,
         continue;
       }
       ++stats.lines;
+      state.sm.jobs_submitted.increment();
 
       WireJob job;
       try {
@@ -405,6 +481,14 @@ ServerStats serve(std::istream& in, std::ostream& out,
         state.results.push(
             format_error_result("", line_number, e.code(), e.what()));
         ++stats.errors;
+        state.sm.jobs_error.increment();
+        if (options.log != nullptr) {
+          options.log->event(EventLog::Level::kInfo,
+                             static_cast<std::int64_t>(line_number),
+                             "parse_error",
+                             "\"line\":" + std::to_string(line_number) +
+                                 ",\"code\":" + std::to_string(e.code()));
+        }
         continue;
       }
 
@@ -413,6 +497,7 @@ ServerStats serve(std::istream& in, std::ostream& out,
       // rejection bursts without actually saturating the pool.
       const int depth = pool.pending();
       trace::counter("server/queue_depth", depth);
+      state.sm.queue_depth.set(depth);
       const bool forced_reject =
           failpoint::evaluate("server.admit",
                               static_cast<std::int64_t>(job.line))
@@ -430,12 +515,28 @@ ServerStats serve(std::istream& in, std::ostream& out,
             retry_after_ms));
         ++stats.rejected;
         ++stats.errors;
+        state.sm.jobs_rejected.increment();
+        if (options.log != nullptr) {
+          options.log->event(EventLog::Level::kInfo,
+                             static_cast<std::int64_t>(job.line),
+                             "job_rejected",
+                             "\"id\":\"" + json_escape(job.id) +
+                                 "\",\"line\":" + std::to_string(job.line));
+        }
         continue;
       }
 
       {
         const std::lock_guard<std::mutex> lock(state.done_mutex);
         ++state.outstanding;
+      }
+      state.sm.inflight_jobs.add(1);
+      if (options.log != nullptr) {
+        options.log->event(EventLog::Level::kDebug,
+                           static_cast<std::int64_t>(job.line),
+                           "job_admitted",
+                           "\"id\":\"" + json_escape(job.id) +
+                               "\",\"line\":" + std::to_string(job.line));
       }
       const auto admitted = std::chrono::steady_clock::now();
       // Jobs with a real (positive) deadline get a watchdog ticket so
@@ -480,11 +581,18 @@ ServerStats serve(std::istream& in, std::ostream& out,
   stats.abandoned = state.abandoned.load();
   stats.cache_hits = state.cache_hits.load();
   stats.cache_misses = state.cache_misses.load();
+  stats.deduped = state.deduped.load();
   const ResultCache::Stats cache_after = state.cache->stats();
   stats.cache_evictions = cache_after.evictions - cache_before.evictions;
   trace::counter("server/cache_hits", stats.cache_hits);
   trace::counter("server/cache_misses", stats.cache_misses);
   trace::counter("server/cache_evictions", stats.cache_evictions);
+  if (options.log != nullptr && stats.cache_evictions > 0) {
+    options.log->event(EventLog::Level::kWarn, EventLog::kServerStop,
+                       "cache_evictions",
+                       "\"count\":" +
+                           std::to_string(stats.cache_evictions));
+  }
   return stats;
 }
 

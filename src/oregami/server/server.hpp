@@ -37,6 +37,7 @@
 namespace oregami::server {
 
 class CacheJournal;
+class EventLog;
 
 struct ServerOptions {
   int jobs = 1;  ///< worker threads; 0 = hardware_concurrency
@@ -60,6 +61,9 @@ struct ServerOptions {
   /// is journaled after its cache insert, so a restarted daemon boots
   /// warm. nullptr = in-memory only.
   CacheJournal* journal = nullptr;
+  /// Structured NDJSON event log (telemetry.hpp; not owned; must
+  /// outlive the call). nullptr = no event logging.
+  EventLog* log = nullptr;
 };
 
 struct ServerStats {
@@ -80,8 +84,15 @@ struct ServerStats {
   /// exactly one per unique digest reaching the mapping stage.
   std::int64_t cache_misses = 0;
   std::int64_t cache_evictions = 0;
+  /// Subset of cache_hits: jobs that joined an identical in-flight
+  /// computation instead of hitting the resident cache. The total is
+  /// schedule-dependent (more workers, more overlap), so the metrics
+  /// registry marks its series Volatile.
+  std::int64_t deduped = 0;
 
   /// One-line JSON rendering (the daemon's exit summary on stderr).
+  /// Field set is frozen (scripts grep it); the extended `stats{...}`
+  /// line lives in telemetry.hpp.
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "oregami/support/metrics.hpp"
 #include "oregami/support/rng.hpp"
 
 namespace oregami::failpoint {
@@ -195,6 +196,11 @@ Hit evaluate_slow(std::string_view site, std::int64_t key) {
   for (Clause& clause : reg.clauses) {
     if (clause.site == site && spec_matches(clause, effective)) {
       ++clause.fired;
+      if (metrics::enabled()) {
+        // Same series server/telemetry.cpp registers eagerly, so the
+        // counter is present (at 0) in every exposition.
+        metrics::counter("oregami_failpoint_fired_total").increment();
+      }
       return Hit{clause.action, clause.arg};
     }
   }

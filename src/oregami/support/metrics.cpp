@@ -1,0 +1,350 @@
+#include "oregami/support/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace oregami::metrics {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_deterministic{false};
+
+namespace {
+std::atomic<int> g_next_stripe{0};
+}  // namespace
+
+int stripe_index() {
+  // Round-robin stripe assignment, computed once per thread. The
+  // thread_local is a plain int so first-touch initialisation performs
+  // no allocation.
+  thread_local const int idx =
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return idx;
+}
+}  // namespace detail
+
+void enable() { detail::g_enabled.store(true, std::memory_order_relaxed); }
+void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+void set_deterministic(bool on) {
+  detail::g_deterministic.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t Counter::value() const {
+  std::int64_t total = 0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+int histogram_bucket(std::int64_t v) {
+  if (v <= 0) return 0;
+  const int width =
+      static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v)));
+  return std::min(width, kHistogramBuckets - 1);
+}
+
+std::int64_t histogram_bucket_upper(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kHistogramBuckets - 1) return INT64_MAX;
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+std::int64_t histogram_bucket_lower(int bucket) {
+  if (bucket <= 0) return 0;
+  return std::int64_t{1} << (bucket - 1);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stripes_)
+    for (const auto& b : s.buckets) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::int64_t Histogram::sum() const {
+  std::int64_t total = 0;
+  for (const auto& s : stripes_)
+    total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::merge_into(HistogramSnapshot& snap) const {
+  for (const auto& s : stripes_)
+    for (int b = 0; b < kHistogramBuckets; ++b)
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+  snap.sum += sum();
+}
+
+void Histogram::reset() {
+  for (auto& s : stripes_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t HistogramSnapshot::count() const {
+  std::uint64_t total = 0;
+  for (const auto b : buckets) total += b;
+  return total;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (cumulative + in_bucket >= rank) {
+      const auto lo = static_cast<double>(histogram_bucket_lower(b));
+      if (b == 0) return 0.0;
+      if (b == kHistogramBuckets - 1) return lo;  // unbounded tail
+      const auto hi = static_cast<double>(histogram_bucket_upper(b));
+      const double frac = std::max(0.0, rank - cumulative) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  // Unreachable for total > 0; keep the compiler happy.
+  return 0.0;
+}
+
+// --- Registry ---------------------------------------------------------
+
+namespace {
+
+struct Entry {
+  SeriesValue::Kind kind;
+  Determinism det;
+  // Exactly one of these is non-null, matching `kind`. unique_ptr keeps
+  // addresses stable while the map grows.
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Entry, std::less<>> entries;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: handles outlive exit
+  return *r;
+}
+
+Entry& register_entry(std::string_view name, SeriesValue::Kind kind,
+                      Determinism det) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.entries.find(name);
+  if (it == r.entries.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.det = det;
+    switch (kind) {
+      case SeriesValue::Kind::kCounter:
+        entry.counter.reset(new Counter());
+        break;
+      case SeriesValue::Kind::kGauge:
+        entry.gauge.reset(new Gauge());
+        break;
+      case SeriesValue::Kind::kHistogram:
+        entry.histogram.reset(new Histogram());
+        break;
+    }
+    it = r.entries.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metrics: series '" + std::string(name) +
+                           "' re-registered with a different kind");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name, Determinism det) {
+  return *register_entry(name, SeriesValue::Kind::kCounter, det).counter;
+}
+
+Gauge& gauge(std::string_view name, Determinism det) {
+  return *register_entry(name, SeriesValue::Kind::kGauge, det).gauge;
+}
+
+Histogram& histogram(std::string_view name, Determinism det) {
+  return *register_entry(name, SeriesValue::Kind::kHistogram, det).histogram;
+}
+
+const SeriesValue* Snapshot::find(std::string_view name) const {
+  for (const auto& s : series)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+Snapshot snapshot() {
+  Snapshot snap;
+  const bool det = deterministic();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  snap.series.reserve(r.entries.size());
+  for (const auto& [name, entry] : r.entries) {
+    SeriesValue v;
+    v.name = name;
+    v.kind = entry.kind;
+    const bool zero = det && entry.det == Determinism::kVolatile;
+    switch (entry.kind) {
+      case SeriesValue::Kind::kCounter:
+        v.scalar = zero ? 0 : entry.counter->value();
+        break;
+      case SeriesValue::Kind::kGauge:
+        v.scalar = zero ? 0 : entry.gauge->value();
+        break;
+      case SeriesValue::Kind::kHistogram:
+        if (!zero) entry.histogram->merge_into(v.histogram);
+        break;
+    }
+    snap.series.push_back(std::move(v));
+  }
+  // std::map iteration is already name-sorted; keep it explicit anyway.
+  std::sort(snap.series.begin(), snap.series.end(),
+            [](const SeriesValue& a, const SeriesValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void reset_values() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, entry] : r.entries) {
+    switch (entry.kind) {
+      case SeriesValue::Kind::kCounter:
+        entry.counter->reset();
+        break;
+      case SeriesValue::Kind::kGauge:
+        entry.gauge->reset();
+        break;
+      case SeriesValue::Kind::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+}
+
+// --- Prometheus exposition -------------------------------------------
+
+namespace {
+
+// Splits "base{a=\"b\"}" into ("base", "a=\"b\""); labels empty when
+// the name carries none.
+void split_name(const std::string& name, std::string& base,
+                std::string& labels) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) {
+    base = name;
+    labels.clear();
+    return;
+  }
+  base = name.substr(0, brace);
+  const auto close = name.rfind('}');
+  labels = name.substr(brace + 1,
+                       close == std::string::npos ? std::string::npos
+                                                  : close - brace - 1);
+}
+
+const char* kind_name(SeriesValue::Kind kind) {
+  switch (kind) {
+    case SeriesValue::Kind::kCounter: return "counter";
+    case SeriesValue::Kind::kGauge: return "gauge";
+    case SeriesValue::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string with_labels(const std::string& base, const std::string& labels) {
+  if (labels.empty()) return base;
+  return base + "{" + labels + "}";
+}
+
+std::string join_labels(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const Snapshot& snap) {
+  std::string last_base;
+  std::string base, labels;
+  for (const auto& s : snap.series) {
+    split_name(s.name, base, labels);
+    if (base != last_base) {
+      out << "# TYPE " << base << " " << kind_name(s.kind) << "\n";
+      last_base = base;
+    }
+    switch (s.kind) {
+      case SeriesValue::Kind::kCounter:
+      case SeriesValue::Kind::kGauge:
+        out << with_labels(base, labels) << " " << s.scalar << "\n";
+        break;
+      case SeriesValue::Kind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          if (s.histogram.buckets[b] == 0) continue;
+          cumulative += s.histogram.buckets[b];
+          if (b == kHistogramBuckets - 1) continue;  // folded into +Inf
+          out << base << "_bucket{"
+              << join_labels(labels, "le=\"" +
+                                         std::to_string(
+                                             histogram_bucket_upper(b)) +
+                                         "\"")
+              << "} " << cumulative << "\n";
+        }
+        out << base << "_bucket{" << join_labels(labels, "le=\"+Inf\"")
+            << "} " << s.histogram.count() << "\n";
+        out << with_labels(base + "_sum", labels) << " " << s.histogram.sum
+            << "\n";
+        out << with_labels(base + "_count", labels) << " "
+            << s.histogram.count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::ostringstream out;
+  write_prometheus(out, snap);
+  return out.str();
+}
+
+bool write_prometheus_file(const std::string& path) {
+  const std::string body = to_prometheus(snapshot());
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace oregami::metrics

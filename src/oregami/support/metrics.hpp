@@ -1,0 +1,191 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// log2 latency histograms with quantile interpolation.
+//
+// Design contract (mirrors trace.hpp):
+//   * Disabled hot path: one relaxed atomic load per metric site, no
+//     allocation, no locks.
+//   * Enabled hot path: one (counter/gauge) or two (histogram: bucket +
+//     sum) relaxed atomic RMWs on a thread-striped cell. Zero heap
+//     allocation after registration.
+//   * Snapshots merge stripes under the registry mutex and are sorted
+//     by series name, so exposition is deterministic for a given set of
+//     recorded values.
+//   * Deterministic mode (set_deterministic(true)) zeroes every value a
+//     scheduler could perturb: histograms record 0 instead of measured
+//     durations, and series registered as Determinism::Volatile (queue
+//     depths, dedup joins, ...) are zeroed at snapshot time. Counts of
+//     deterministic events are kept, so snapshots of the same input
+//     stream are byte-identical across thread counts.
+//
+// Series names carry optional Prometheus labels inline:
+//   metrics::counter("oregami_server_jobs_total{outcome=\"hit\"}")
+// The exposition writer splits the name at '{' to group series under
+// one `# TYPE` line per metric family.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oregami::metrics {
+
+namespace detail {
+// Single global switch; inline fast-path guard reads it relaxed.
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_deterministic;
+inline constexpr int kStripes = 8;
+// Returns this thread's stripe index (round-robin assigned, stable for
+// the thread's lifetime).
+int stripe_index();
+}  // namespace detail
+
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool deterministic() {
+  return detail::g_deterministic.load(std::memory_order_relaxed);
+}
+
+void enable();
+void disable();
+// When true, histogram records are clamped to 0 and Volatile series are
+// zeroed in snapshots; see the header comment.
+void set_deterministic(bool on);
+
+// Whether a series participates in the deterministic byte-diff
+// contract. Volatile series (thread-schedule artefacts: queue depth,
+// single-flight joins) are zeroed in deterministic snapshots.
+enum class Determinism { kStable, kVolatile };
+
+inline constexpr int kHistogramBuckets = 64;
+
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::int64_t n) {
+    if (!enabled()) return;
+    cells_[detail::stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  // Merged value across stripes (test/snapshot path, not hot).
+  [[nodiscard]] std::int64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+  };
+  Cell cells_[detail::kStripes];
+};
+
+// Gauges are set/adjusted from cold paths (admission control), so a
+// single atomic cell suffices: `set` has last-writer-wins semantics
+// that striping cannot provide.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed log2 buckets: bucket 0 holds v <= 0 (and exact zeros recorded
+// in deterministic mode); bucket b in [1, 62] holds [2^(b-1), 2^b - 1];
+// bucket 63 holds everything >= 2^62.
+[[nodiscard]] int histogram_bucket(std::int64_t v);
+// Inclusive upper bound of a bucket; bucket 63 has no finite bound and
+// returns INT64_MAX.
+[[nodiscard]] std::int64_t histogram_bucket_upper(int bucket);
+[[nodiscard]] std::int64_t histogram_bucket_lower(int bucket);
+
+struct HistogramSnapshot {
+  std::uint64_t buckets[kHistogramBuckets]{};
+  std::int64_t sum = 0;
+  [[nodiscard]] std::uint64_t count() const;
+  // Quantile by linear interpolation inside the owning log2 bucket
+  // (Prometheus histogram_quantile semantics: rank = q * count).
+  [[nodiscard]] double quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(std::int64_t v) {
+    if (!enabled()) return;
+    if (deterministic()) v = 0;
+    auto& s = stripes_[detail::stripe_index()];
+    s.buckets[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::int64_t sum() const;
+  // Accumulates merged stripe counts into `snap` (snapshot path).
+  void merge_into(HistogramSnapshot& snap) const;
+  void reset();
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets]{};
+    std::atomic<std::int64_t> sum{0};
+  };
+  Stripe stripes_[detail::kStripes];
+};
+
+// --- Registration -----------------------------------------------------
+// Registration is idempotent: the same name always returns the same
+// object. Registering a name under two different metric kinds throws
+// std::logic_error. References stay valid for the process lifetime.
+Counter& counter(std::string_view name,
+                 Determinism det = Determinism::kStable);
+Gauge& gauge(std::string_view name, Determinism det = Determinism::kStable);
+Histogram& histogram(std::string_view name,
+                     Determinism det = Determinism::kStable);
+
+// --- Snapshots & exposition ------------------------------------------
+struct SeriesValue {
+  std::string name;  // full series name including any {labels}
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  std::int64_t scalar = 0;      // counter/gauge value
+  HistogramSnapshot histogram;  // kind == kHistogram only
+};
+
+struct Snapshot {
+  std::vector<SeriesValue> series;  // sorted by name
+  // Convenience lookups; return nullptr when the series is absent.
+  [[nodiscard]] const SeriesValue* find(std::string_view name) const;
+};
+
+// Merges stripes under the registry mutex. When the process is in
+// deterministic mode, Volatile series are zeroed.
+[[nodiscard]] Snapshot snapshot();
+
+// Prometheus text exposition format, `# TYPE` line per family,
+// cumulative `le` buckets + `_sum`/`_count` per histogram.
+void write_prometheus(std::ostream& out, const Snapshot& snap);
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap);
+
+// Atomically publish the current snapshot to `path` (temp file in the
+// same directory + rename). Returns false (and leaves any previous file
+// intact) when the path is unwritable.
+bool write_prometheus_file(const std::string& path);
+
+// Zeroes every registered value but keeps registrations and the
+// enabled/deterministic flags. Test + bench support.
+void reset_values();
+
+}  // namespace oregami::metrics

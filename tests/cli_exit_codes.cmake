@@ -128,6 +128,42 @@ expect_serve_exit(0 "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\
                   --failpoints "job.run:throw@1")
 
 # ---------------------------------------------------------------------
+# Telemetry flags: malformed values and dangling dependents are usage
+# errors; an unwritable metrics path degrades (warning on stderr) but
+# the daemon still drains to exit 0.
+# ---------------------------------------------------------------------
+set(METRICS_FILE ${CMAKE_CURRENT_BINARY_DIR}/exit_codes_metrics.prom)
+file(REMOVE ${METRICS_FILE})
+expect_serve_exit(2 "" --metrics-interval x --metrics-file ${METRICS_FILE})
+expect_serve_exit(2 "" --metrics-interval 0 --metrics-file ${METRICS_FILE})
+expect_serve_exit(2 "" --metrics-interval 5)   # no --metrics-file
+expect_serve_exit(2 "" --log-level bogus --log ${CMAKE_CURRENT_BINARY_DIR}/exit_codes.log)
+expect_serve_exit(2 "" --log-level info)       # no --log
+expect_serve_exit(0 "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},\"topology\":\"mesh:4x4\"}"
+                  --metrics-file ${METRICS_FILE})
+if(NOT EXISTS ${METRICS_FILE})
+  message(FATAL_ERROR
+          "oregami_serve --metrics-file did not create ${METRICS_FILE}")
+endif()
+file(REMOVE ${METRICS_FILE})
+expect_serve_exit(0 "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},\"topology\":\"mesh:4x4\"}"
+                  --metrics-file /nonexistent-dir/metrics.prom)
+
+# oregami_map --metrics-file follows the same contract: a one-shot dump
+# on a writable path, degrade-don't-die on an unwritable one.
+expect_exit(0 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --metrics-file ${METRICS_FILE})
+if(NOT EXISTS ${METRICS_FILE})
+  message(FATAL_ERROR
+          "oregami_map --metrics-file did not create ${METRICS_FILE}")
+endif()
+file(REMOVE ${METRICS_FILE})
+expect_exit(0 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --metrics-file /nonexistent-dir/metrics.prom)
+expect_exit(2 --program jacobi --bind n=8 --bind iters=10
+            --topology mesh:4x4 --metrics-file)   # missing path argument
+
+# ---------------------------------------------------------------------
 # Crash-safe persistence: --cache-file cold boot, warm boot, and a
 # degraded (unwritable) path must all drain to exit 0; the persisted
 # file is inspectable via oregami_map --cache-file (0 valid, 3 missing).

@@ -14,8 +14,10 @@
 #include "oregami/larcs/programs.hpp"
 #include "oregami/server/persist.hpp"
 #include "oregami/server/server.hpp"
+#include "oregami/server/telemetry.hpp"
 #include "oregami/server/wire.hpp"
 #include "oregami/support/failpoint.hpp"
+#include "oregami/support/metrics.hpp"
 
 namespace oregami::server {
 namespace {
@@ -476,6 +478,134 @@ TEST(Serve, JournaledCacheRestoresWarmStateAcrossServeCalls) {
   EXPECT_EQ(normalized(cold_text), normalized(out.str()));
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
+}
+
+// ----------------------------------------------------- telemetry
+
+/// Runs the mixed stream with telemetry enabled and returns the
+/// deterministic Prometheus exposition. Counters are reset first so
+/// each run's metrics stand alone.
+std::string serve_with_metrics(int jobs, ServerStats* stats_out) {
+  metrics::reset_values();
+  metrics::set_deterministic(true);
+  metrics::enable();
+  std::istringstream in(mixed_stream());
+  std::ostringstream out;
+  const ServerStats stats = serve(in, out, deterministic_options(jobs));
+  const std::string text = metrics::to_prometheus(metrics::snapshot());
+  metrics::disable();
+  metrics::set_deterministic(false);
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+  return text;
+}
+
+std::int64_t series_value(const metrics::Snapshot& snap,
+                          const std::string& name) {
+  const metrics::SeriesValue* s = snap.find(name);
+  return s == nullptr ? -1 : s->scalar;
+}
+
+TEST(ServeMetricsIdentity, OutcomesPartitionSubmittedJobs) {
+  for (const int jobs : {1, 0, 5}) {
+    metrics::reset_values();
+    metrics::set_deterministic(true);
+    metrics::enable();
+    std::istringstream in(mixed_stream());
+    std::ostringstream out;
+    const ServerStats stats = serve(in, out, deterministic_options(jobs));
+    const metrics::Snapshot snap = metrics::snapshot();
+    metrics::disable();
+    metrics::set_deterministic(false);
+
+    const std::int64_t submitted =
+        series_value(snap, "oregami_server_jobs_submitted_total");
+    const std::int64_t hit =
+        series_value(snap, "oregami_server_jobs_total{outcome=\"hit\"}");
+    const std::int64_t miss =
+        series_value(snap, "oregami_server_jobs_total{outcome=\"miss\"}");
+    const std::int64_t error =
+        series_value(snap, "oregami_server_jobs_total{outcome=\"error\"}");
+    const std::int64_t rejected = series_value(
+        snap, "oregami_server_jobs_total{outcome=\"rejected\"}");
+    const std::int64_t abandoned = series_value(
+        snap, "oregami_server_jobs_total{outcome=\"abandoned\"}");
+
+    // Every submitted line lands in exactly one outcome.
+    EXPECT_EQ(hit + miss + error + rejected + abandoned, submitted)
+        << "jobs=" << jobs;
+    EXPECT_EQ(submitted, stats.lines) << "jobs=" << jobs;
+    EXPECT_EQ(hit, 10) << "jobs=" << jobs;
+    EXPECT_EQ(miss, 20) << "jobs=" << jobs;
+    EXPECT_EQ(error, 20) << "jobs=" << jobs;
+    EXPECT_EQ(rejected, 0) << "jobs=" << jobs;
+    EXPECT_EQ(abandoned, 0) << "jobs=" << jobs;
+
+    // Cache traffic mirrors ServerStats.
+    EXPECT_EQ(series_value(snap, "oregami_server_cache_hits_total"),
+              stats.cache_hits);
+    EXPECT_EQ(series_value(snap, "oregami_server_cache_misses_total"),
+              stats.cache_misses);
+
+    // Deterministic mode zeroes the schedule-dependent series.
+    EXPECT_EQ(series_value(snap, "oregami_server_dedup_joins_total"), 0);
+    EXPECT_EQ(series_value(snap, "oregami_server_queue_depth"), 0);
+    EXPECT_EQ(series_value(snap, "oregami_server_inflight_jobs"), 0);
+  }
+}
+
+TEST(ServeMetricsIdentity, DeterministicExpositionIsIdenticalAcrossJobs) {
+  ServerStats s1, s0, s5;
+  const std::string m1 = serve_with_metrics(1, &s1);
+  const std::string m0 = serve_with_metrics(0, &s0);
+  const std::string m5 = serve_with_metrics(5, &s5);
+  EXPECT_EQ(m1, m0);
+  EXPECT_EQ(m1, m5);
+  EXPECT_EQ(s1.lines, s5.lines);
+  EXPECT_EQ(s1.ok, s5.ok);
+  // The exposition is real, not empty: spot-check a family.
+  expect_contains(m1, "# TYPE oregami_server_jobs_total counter");
+  expect_contains(m1, "oregami_server_jobs_total{outcome=\"hit\"} 10\n");
+  // 45 admitted jobs: everything but the 5 parse errors reaches a
+  // worker and records a queue wait.
+  expect_contains(m1, "oregami_server_job_queue_wait_us_count 45\n");
+}
+
+TEST(ServeMetricsIdentity, WatchdogAbandonmentCountsAsAbandonedOnly) {
+  FailpointGuard guard;
+  metrics::reset_values();
+  metrics::set_deterministic(true);
+  metrics::enable();
+  failpoint::configure("job.run:hang(400)@1");
+  std::istringstream in(
+      "{\"id\":1,\"program\":\"jacobi\",\"bind\":{\"n\":8,\"iters\":10},"
+      "\"topology\":\"mesh:4x4\",\"deadline_ms\":60}\n");
+  std::ostringstream out;
+  ServerOptions options = deterministic_options(2);
+  const ServerStats stats = serve(in, out, options);
+  const metrics::Snapshot snap = metrics::snapshot();
+  metrics::disable();
+  metrics::set_deterministic(false);
+
+  ASSERT_EQ(stats.abandoned, 1);
+  EXPECT_EQ(series_value(
+                snap, "oregami_server_jobs_total{outcome=\"abandoned\"}"),
+            1);
+  EXPECT_EQ(series_value(snap, "oregami_server_watchdog_fired_total"), 1);
+  // The hung job still went through the cache-miss path, but the
+  // outcome partition books it exactly once, as abandoned.
+  const std::int64_t submitted =
+      series_value(snap, "oregami_server_jobs_submitted_total");
+  const std::int64_t booked =
+      series_value(snap, "oregami_server_jobs_total{outcome=\"hit\"}") +
+      series_value(snap, "oregami_server_jobs_total{outcome=\"miss\"}") +
+      series_value(snap, "oregami_server_jobs_total{outcome=\"error\"}") +
+      series_value(snap,
+                   "oregami_server_jobs_total{outcome=\"rejected\"}") +
+      series_value(snap,
+                   "oregami_server_jobs_total{outcome=\"abandoned\"}");
+  EXPECT_EQ(booked, submitted);
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Validate oregami Prometheus metric expositions.
+
+Dependency-free (stdlib only). Checks the text exposition format the
+metrics registry writes (`--metrics-file` on oregami_serve /
+oregami_map):
+
+  * every sample belongs to a family announced by a `# TYPE` line, and
+    each family is announced exactly once;
+  * sample values are finite numbers (counters and gauges integers);
+  * histogram families are complete: cumulative `_bucket{le=...}`
+    samples with strictly increasing `le` bounds and non-decreasing
+    counts, a final `le="+Inf"` bucket, and `_sum`/`_count` samples
+    where `_count` equals the +Inf bucket;
+  * with --identity, the server outcome partition holds:
+        jobs_total{outcome=hit|miss|error|rejected|abandoned}
+    sums to jobs_submitted_total, and cache hit/miss totals are
+    consistent with the hit/miss outcomes.
+
+Usage:
+    check_metrics.py METRICS.prom              # format checks, exit 0/1
+    check_metrics.py METRICS.prom --identity   # + server counter identity
+"""
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r" (?P<kind>counter|gauge|histogram|summary|untyped)$"
+)
+
+OUTCOMES = ("hit", "miss", "error", "rejected", "abandoned")
+
+
+def parse_labels(text):
+    """'a="b",le="+Inf"' -> {'a': 'b', 'le': '+Inf'}; None on garbage."""
+    labels = {}
+    if not text:
+        return labels
+    for match in re.finditer(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"', text):
+        labels[match.group(1)] = match.group(2)
+    # Round-trip check: every key=value pair must have matched.
+    if len(labels) != text.count("="):
+        return None
+    return labels
+
+
+def family_of(name):
+    """Strips the histogram sample suffix to get the TYPE family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class Exposition:
+    def __init__(self):
+        self.types = {}      # family -> kind
+        self.samples = []    # (name, labels-dict, value, line-number)
+
+    def value(self, name, labels=None):
+        """The value of an exact sample, or None when absent."""
+        labels = labels or {}
+        for sample_name, sample_labels, value, _ in self.samples:
+            if sample_name == name and sample_labels == labels:
+                return value
+        return None
+
+
+def parse(path, errors):
+    exposition = Exposition()
+    with open(path, encoding="utf-8") as handle:
+        for index, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                match = TYPE_RE.match(line)
+                if not match:
+                    if line.startswith("# TYPE"):
+                        errors.append(f"line {index}: malformed TYPE: {line!r}")
+                    continue  # HELP/comments are fine
+                name = match.group("name")
+                if name in exposition.types:
+                    errors.append(
+                        f"line {index}: duplicate # TYPE for {name!r}"
+                    )
+                exposition.types[name] = match.group("kind")
+                continue
+            match = SAMPLE_RE.match(line)
+            if not match:
+                errors.append(f"line {index}: unparseable sample: {line!r}")
+                continue
+            labels = parse_labels(match.group("labels") or "")
+            if labels is None:
+                errors.append(f"line {index}: malformed labels: {line!r}")
+                continue
+            try:
+                value = float(match.group("value"))
+            except ValueError:
+                errors.append(f"line {index}: bad value: {line!r}")
+                continue
+            if not math.isfinite(value):
+                errors.append(f"line {index}: non-finite value: {line!r}")
+                continue
+            exposition.samples.append(
+                (match.group("name"), labels, value, index)
+            )
+    return exposition
+
+
+def check_format(exposition, errors):
+    histogram_buckets = {}  # (family, non-le labels) -> [(le, count, line)]
+    for name, labels, value, index in exposition.samples:
+        family = family_of(name)
+        kind = exposition.types.get(family) or exposition.types.get(name)
+        if kind is None:
+            errors.append(
+                f"line {index}: sample {name!r} has no # TYPE line"
+            )
+            continue
+        if kind in ("counter", "gauge") and name == family:
+            if value != int(value) or (kind == "counter" and value < 0):
+                errors.append(
+                    f"line {index}: {kind} {name!r} must be a "
+                    f"non-negative integer, got {value}"
+                )
+        if kind == "histogram":
+            if name == family:
+                errors.append(
+                    f"line {index}: bare sample {name!r} inside a "
+                    "histogram family"
+                )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"line {index}: bucket sample without le: {name!r}"
+                    )
+                    continue
+                rest = tuple(
+                    sorted((k, v) for k, v in labels.items() if k != "le")
+                )
+                bound = (
+                    math.inf if labels["le"] == "+Inf" else float(labels["le"])
+                )
+                histogram_buckets.setdefault((family, rest), []).append(
+                    (bound, value, index)
+                )
+
+    for (family, rest), buckets in sorted(histogram_buckets.items()):
+        series = family + (
+            "{" + ",".join(f'{k}="{v}"' for k, v in rest) + "}" if rest else ""
+        )
+        bounds = [b for b, _, _ in buckets]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            errors.append(f"{series}: le bounds not strictly increasing")
+        counts = [c for _, c, _ in buckets]
+        if counts != sorted(counts):
+            errors.append(f"{series}: bucket counts not cumulative")
+        if not bounds or bounds[-1] != math.inf:
+            errors.append(f"{series}: missing le=\"+Inf\" bucket")
+            continue
+        label_dict = dict(rest)
+        count = exposition.value(family + "_count", label_dict)
+        if count is None:
+            errors.append(f"{series}: missing _count sample")
+        elif count != counts[-1]:
+            errors.append(
+                f"{series}: _count {count} != +Inf bucket {counts[-1]}"
+            )
+        if exposition.value(family + "_sum", label_dict) is None:
+            errors.append(f"{series}: missing _sum sample")
+
+
+def check_identity(exposition, errors):
+    submitted = exposition.value("oregami_server_jobs_submitted_total")
+    if submitted is None:
+        errors.append("identity: oregami_server_jobs_submitted_total missing")
+        return
+    outcomes = {}
+    for outcome in OUTCOMES:
+        value = exposition.value(
+            "oregami_server_jobs_total", {"outcome": outcome}
+        )
+        if value is None:
+            errors.append(
+                f"identity: jobs_total outcome {outcome!r} missing"
+            )
+            return
+        outcomes[outcome] = value
+    total = sum(outcomes.values())
+    if total != submitted:
+        errors.append(
+            f"identity: outcomes sum to {total} != submitted {submitted} "
+            f"({outcomes})"
+        )
+    # Cache traffic can only exceed the hit/miss outcomes (abandoned
+    # jobs touch the cache but book as abandoned), never trail them.
+    cache_hits = exposition.value("oregami_server_cache_hits_total")
+    cache_misses = exposition.value("oregami_server_cache_misses_total")
+    if cache_hits is not None and cache_hits < outcomes["hit"]:
+        errors.append(
+            f"identity: cache_hits {cache_hits} < hit outcome "
+            f"{outcomes['hit']}"
+        )
+    if cache_misses is not None and cache_misses < outcomes["miss"]:
+        errors.append(
+            f"identity: cache_misses {cache_misses} < miss outcome "
+            f"{outcomes['miss']}"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="Prometheus text exposition file")
+    parser.add_argument(
+        "--identity", action="store_true",
+        help="check the server job-outcome counter identity",
+    )
+    args = parser.parse_args()
+
+    errors = []
+    exposition = parse(args.metrics, errors)
+    check_format(exposition, errors)
+    if args.identity:
+        check_identity(exposition, errors)
+
+    if errors:
+        for message in errors:
+            print(message, file=sys.stderr)
+        print(f"{args.metrics}: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+
+    families = len(exposition.types)
+    print(
+        f"{args.metrics}: {len(exposition.samples)} samples in "
+        f"{families} families valid"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

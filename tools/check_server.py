@@ -12,6 +12,11 @@ across runs and --jobs values: lines sorted by id, the volatile
 one schedule-dependent bit; the totals are deterministic), and the
 depth-derived "retry_after_ms" hint stripped.
 
+Also validates the shutdown stats line (--stats FILE) in both wire
+formats: the default bare ServerStats::to_json() object and the
+extended "stats{...}"-prefixed line emitted under --stats-json (which
+additionally carries "deduped" and "uptime_ms").
+
 Usage:
     check_server.py RESULTS.txt              # validate, exit 0/1
     check_server.py RESULTS.txt --norm OUT   # validate + normalised copy
@@ -19,6 +24,9 @@ Usage:
                                  # drop ids 3 and 7 from the normalised
                                  # copy (chaos runs: ids a failpoint
                                  # schedule deliberately perturbed)
+    check_server.py RESULTS.txt --stats STATS.json
+                                 # also validate the shutdown stats line
+                                 # (either format, auto-detected)
 """
 
 import argparse
@@ -34,6 +42,13 @@ OK_FIELDS = {
 ERROR_FIELDS = {"id", "line", "status", "error", "code"}
 # Optional on code-5 rejections only: the admission backoff hint.
 ERROR_OPTIONAL_FIELDS = {"retry_after_ms"}
+# The shutdown stats line: the bare to_json() field set, and the two
+# extra fields the extended `stats{...}` format appends.
+STATS_FIELDS = {
+    "lines", "ok", "errors", "rejected", "abandoned",
+    "cache_hits", "cache_misses", "cache_evictions",
+}
+STATS_EXTENDED_FIELDS = STATS_FIELDS | {"deduped", "uptime_ms"}
 
 
 def check_line(obj, index, errors):
@@ -94,6 +109,55 @@ def check_line(obj, index, errors):
         fail(f"status must be 'ok' or 'error', got {status!r}")
 
 
+def check_stats(path, errors):
+    """Validates the shutdown stats line, auto-detecting the format.
+
+    Accepts both the bare ServerStats::to_json() object and the
+    extended "stats{...}"-prefixed line from --stats-json. The file may
+    carry other stderr noise (recovery banners, failpoint reports); the
+    stats line is the first line that parses as one of the two shapes.
+    """
+    def fail(message):
+        errors.append(f"{path}: {message}")
+
+    candidates = []
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if line.startswith("stats{"):
+                candidates.append((line[len("stats"):], True))
+            elif line.startswith("{"):
+                candidates.append((line, False))
+    for text, extended in candidates:
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            continue
+        expected = STATS_EXTENDED_FIELDS if extended else STATS_FIELDS
+        if obj.keys() != expected:
+            continue
+        bad = {
+            key: value for key, value in obj.items()
+            if not isinstance(value, int) or value < 0
+        }
+        if bad:
+            fail(f"stats fields must be non-negative ints: {bad}")
+            return
+        booked = (
+            obj["ok"] + obj["errors"]
+        )
+        if booked != obj["lines"]:
+            fail(
+                f"stats identity broken: ok {obj['ok']} + errors "
+                f"{obj['errors']} != lines {obj['lines']}"
+            )
+        for subset in ("rejected", "abandoned"):
+            if obj[subset] > obj["errors"]:
+                fail(f"stats: {subset} {obj[subset]} exceeds errors")
+        return
+    fail("no stats line found in either format")
+
+
 def normalised(results, exclude_ids=()):
     exclude = {str(i) for i in exclude_ids}
     out = []
@@ -128,6 +192,11 @@ def main():
         help="comma-separated ids to drop from the normalised copy "
              "(for chaos-run diffs against a clean run)",
     )
+    parser.add_argument(
+        "--stats", metavar="FILE",
+        help="also validate the shutdown stats line in FILE "
+             "(bare to_json() or stats{...} format, auto-detected)",
+    )
     args = parser.parse_args()
 
     errors = []
@@ -144,6 +213,9 @@ def main():
                 continue
             check_line(obj, index, errors)
             results.append(obj)
+
+    if args.stats:
+        check_stats(args.stats, errors)
 
     if errors:
         for message in errors:

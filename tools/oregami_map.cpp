@@ -21,6 +21,7 @@
 //      topology or fault spec, unknown program)
 //   4  mapping infeasible (the pipeline or repair could not produce a
 //      valid mapping for these inputs)
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -45,6 +46,7 @@
 #include "oregami/sim/network_sim.hpp"
 #include "oregami/support/error.hpp"
 #include "oregami/support/hash.hpp"
+#include "oregami/support/metrics.hpp"
 #include "oregami/support/trace.hpp"
 
 namespace {
@@ -78,6 +80,7 @@ struct Options {
   bool pareto = false;
   bool digest = false;
   std::optional<std::string> cache_file;
+  std::optional<std::string> metrics_file;
   MapperOptions mapper;
 };
 
@@ -146,6 +149,9 @@ int usage(const char* argv0) {
       << "                         print the recovery report and one line\n"
       << "                         per valid entry (sorted by digest),\n"
       << "                         then exit without mapping\n"
+      << "  --metrics-file PATH    one-shot dump of the metrics registry\n"
+      << "                         (Prometheus text exposition) after the\n"
+      << "                         run\n"
       << topology_spec_help() << "\n"
       << "exit codes: 0 ok, 1 internal error, 2 usage, 3 bad input, "
          "4 mapping infeasible\n";
@@ -240,6 +246,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (arg == "--cache-file") {
       if (auto v = next()) {
         options.cache_file = *v;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--metrics-file") {
+      if (auto v = next()) {
+        options.metrics_file = *v;
       } else {
         return std::nullopt;
       }
@@ -636,7 +648,28 @@ int main(int argc, char** argv) {
     if (options.trace_file || options.trace_summary) {
       trace::enable();
     }
+    if (options.metrics_file) {
+      metrics::enable();
+      metrics::set_deterministic(false);
+    }
+    const auto run_start = std::chrono::steady_clock::now();
     const int code = run(options);
+    if (options.metrics_file) {
+      // One-shot exposition: the run's wall time plus whatever the
+      // pipeline recorded, published exactly like the daemon does.
+      metrics::counter("oregami_map_runs_total").increment();
+      metrics::counter("oregami_map_exit_code_total{code=\"" +
+                       std::to_string(code) + "\"}")
+          .increment();
+      metrics::histogram("oregami_map_run_ms")
+          .record(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - run_start)
+                      .count());
+      if (!metrics::write_prometheus_file(*options.metrics_file)) {
+        std::cerr << "warning: cannot write metrics to '"
+                  << *options.metrics_file << "'\n";
+      }
+    }
     emit_trace(options);
     return code;
   } catch (const std::exception& e) {

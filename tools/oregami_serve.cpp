@@ -4,6 +4,8 @@
 //                 [--cache-shards S] [--deadline MS] [--deterministic]
 //                 [--cache-file PATH] [--failpoints SCHED]
 //                 [--trace FILE] [--trace-summary]
+//                 [--metrics-file PATH] [--metrics-interval SEC]
+//                 [--log FILE] [--log-level LVL] [--stats-json]
 //
 // Reads newline-delimited JSON jobs from stdin (protocol in
 // src/oregami/server/wire.hpp), emits one JSON result line per job on
@@ -19,6 +21,13 @@
 // torn tail. --failpoints arms the deterministic chaos schedule
 // (support/failpoint.hpp grammar).
 //
+// --metrics-file publishes the live metrics registry
+// (support/metrics.hpp) as Prometheus text exposition via temp file +
+// atomic rename: on every --metrics-interval tick, on SIGUSR1, and at
+// shutdown. --log writes a structured NDJSON event log
+// (server/telemetry.hpp). An unwritable metrics/log path degrades
+// telemetry with a stderr warning; the daemon keeps serving.
+//
 //   $ printf '%s\n' \
 //       '{"id":1,"program":"jacobi","bind":{"n":8,"iters":10},"topology":"mesh:4x4"}' \
 //     | oregami_serve
@@ -26,16 +35,20 @@
 // Exit codes: 0 clean drain (even if every job failed), 2 usage error,
 // 1 internal error.
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "oregami/server/persist.hpp"
 #include "oregami/server/server.hpp"
+#include "oregami/server/telemetry.hpp"
 #include "oregami/support/failpoint.hpp"
+#include "oregami/support/metrics.hpp"
 #include "oregami/support/trace.hpp"
 
 #if defined(__linux__) || defined(__APPLE__)
@@ -45,6 +58,12 @@
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump_metrics{false};
+
+extern "C" void handle_dump_signal(int) {
+  // Async-signal-safe: just raise the flag; the metrics thread writes.
+  g_dump_metrics.store(true, std::memory_order_relaxed);
+}
 
 extern "C" void handle_stop_signal(int sig) {
   // Stop admitting; in-flight jobs drain and the journal flushes. A
@@ -82,6 +101,18 @@ int usage() {
       << "  --trace FILE        write a Chrome trace-event JSON of the "
          "run\n"
       << "  --trace-summary     print the ASCII span tree to stderr\n"
+      << "  --metrics-file PATH publish Prometheus text exposition to "
+         "PATH\n"
+      << "                      (atomic rename) at shutdown, on SIGUSR1,\n"
+      << "                      and every --metrics-interval seconds\n"
+      << "  --metrics-interval SEC  periodic metrics publication "
+         "(needs\n"
+      << "                      --metrics-file; 1..86400)\n"
+      << "  --log FILE          structured NDJSON event log\n"
+      << "  --log-level LVL     debug|info|warn (default info; needs "
+         "--log)\n"
+      << "  --stats-json        print the extended stats{...} shutdown "
+         "line\n"
       << "exit codes: 0 clean drain, 1 internal error, 2 usage\n";
   return 2;
 }
@@ -94,7 +125,13 @@ int main(int argc, char** argv) {
     std::optional<std::string> trace_file;
     std::optional<std::string> cache_file;
     std::optional<std::string> failpoints;
+    std::optional<std::string> metrics_file;
+    std::optional<std::string> log_file;
+    long long metrics_interval = 0;
+    auto log_level = oregami::server::EventLog::Level::kInfo;
+    bool log_level_set = false;
     bool trace_summary = false;
+    bool stats_json = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       auto next_int = [&](long long lo, long long hi,
@@ -158,10 +195,50 @@ int main(int argc, char** argv) {
         trace_file = argv[++i];
       } else if (arg == "--trace-summary") {
         trace_summary = true;
+      } else if (arg == "--metrics-file") {
+        if (i + 1 >= argc) {
+          std::cerr << "--metrics-file needs an argument\n";
+          return usage();
+        }
+        metrics_file = argv[++i];
+      } else if (arg == "--metrics-interval") {
+        const auto v = next_int(1, 86400, "1 <= SEC <= 86400");
+        if (!v) return usage();
+        metrics_interval = *v;
+      } else if (arg == "--log") {
+        if (i + 1 >= argc) {
+          std::cerr << "--log needs an argument\n";
+          return usage();
+        }
+        log_file = argv[++i];
+      } else if (arg == "--log-level") {
+        if (i + 1 >= argc) {
+          std::cerr << "--log-level needs an argument\n";
+          return usage();
+        }
+        const auto lvl =
+            oregami::server::EventLog::parse_level(argv[++i]);
+        if (!lvl) {
+          std::cerr << "bad --log-level '" << argv[i]
+                    << "' (expected debug|info|warn)\n";
+          return usage();
+        }
+        log_level = *lvl;
+        log_level_set = true;
+      } else if (arg == "--stats-json") {
+        stats_json = true;
       } else {
         std::cerr << "unknown option '" << arg << "'\n";
         return usage();
       }
+    }
+    if (metrics_interval > 0 && !metrics_file) {
+      std::cerr << "--metrics-interval needs --metrics-file\n";
+      return usage();
+    }
+    if (log_level_set && !log_file) {
+      std::cerr << "--log-level needs --log\n";
+      return usage();
     }
 
 #if defined(__linux__) || defined(__APPLE__)
@@ -206,8 +283,79 @@ int main(int argc, char** argv) {
     if (trace_file || trace_summary) {
       oregami::trace::enable();
     }
+
+    // Telemetry: the deterministic contract applies to metrics and the
+    // event log exactly as it does to the wire format.
+    oregami::metrics::set_deterministic(options.deterministic);
+    std::optional<oregami::server::EventLog> event_log;
+    if (log_file) {
+      event_log.emplace(*log_file, log_level, options.deterministic);
+      if (!event_log->ok()) {
+        std::cerr << "warning: cannot write log to '" << *log_file
+                  << "'; event logging disabled\n";
+        event_log.reset();
+      } else {
+        options.log = &*event_log;
+        event_log->event(oregami::server::EventLog::Level::kInfo,
+                         oregami::server::EventLog::kServerStart,
+                         "server_start", "");
+      }
+    }
+    std::thread metrics_thread;
+    std::atomic<bool> metrics_thread_stop{false};
+    if (metrics_file) {
+      oregami::metrics::enable();
+      // Register the full server series set up front so every
+      // exposition -- including an early SIGUSR1 dump -- has it.
+      oregami::server::server_metrics();
+#if defined(__linux__) || defined(__APPLE__)
+      struct sigaction usr1 = {};
+      usr1.sa_handler = handle_dump_signal;
+      sigemptyset(&usr1.sa_mask);
+      usr1.sa_flags = SA_RESTART;  // a dump must not interrupt the read
+      sigaction(SIGUSR1, &usr1, nullptr);
+#endif
+      metrics_thread = std::thread([&metrics_thread_stop, metrics_interval,
+                                    path = *metrics_file] {
+        bool warned = false;
+        auto last = std::chrono::steady_clock::now();
+        while (!metrics_thread_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          bool due = g_dump_metrics.exchange(false);
+          if (metrics_interval > 0 &&
+              std::chrono::steady_clock::now() - last >=
+                  std::chrono::seconds(metrics_interval)) {
+            due = true;
+          }
+          if (!due) continue;
+          last = std::chrono::steady_clock::now();
+          if (!oregami::metrics::write_prometheus_file(path) && !warned) {
+            std::cerr << "warning: cannot write metrics to '" << path
+                      << "'\n";
+            warned = true;
+          }
+        }
+      });
+    }
+
+    const auto serve_start = std::chrono::steady_clock::now();
     const oregami::server::ServerStats stats =
         oregami::server::serve(std::cin, std::cout, options, &g_stop);
+    const std::int64_t uptime_ms =
+        options.deterministic
+            ? 0
+            : std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - serve_start)
+                  .count();
+    if (metrics_thread.joinable()) {
+      metrics_thread_stop.store(true, std::memory_order_relaxed);
+      metrics_thread.join();
+    }
+    if (event_log && g_stop.load(std::memory_order_relaxed)) {
+      event_log->event(oregami::server::EventLog::Level::kInfo,
+                       oregami::server::EventLog::kServerStop,
+                       "shutdown_signal", "");
+    }
     if (journal) {
       journal->flush();
       const auto pstats = journal->stats();
@@ -216,6 +364,15 @@ int main(int argc, char** argv) {
                 << pstats.compactions << ", io_errors " << pstats.io_errors
                 << (pstats.degraded ? ", persistence degraded" : "")
                 << "\n";
+      if (event_log && (pstats.io_errors > 0 || pstats.degraded)) {
+        event_log->event(oregami::server::EventLog::Level::kWarn,
+                         oregami::server::EventLog::kServerStop,
+                         "persist_warning",
+                         "\"io_errors\":" +
+                             std::to_string(pstats.io_errors) +
+                             ",\"degraded\":" +
+                             (pstats.degraded ? "true" : "false"));
+      }
     }
     if (failpoints) {
       const std::string fired = oregami::failpoint::report();
@@ -223,7 +380,24 @@ int main(int argc, char** argv) {
         std::cerr << "failpoints: " << fired << "\n";
       }
     }
-    std::cerr << stats.to_json() << "\n";
+    if (event_log) {
+      event_log->event(
+          oregami::server::EventLog::Level::kInfo,
+          oregami::server::EventLog::kServerStop, "server_stop",
+          "\"lines\":" + std::to_string(stats.lines) +
+              ",\"ok\":" + std::to_string(stats.ok) +
+              ",\"errors\":" + std::to_string(stats.errors));
+      event_log->close();
+    }
+    if (metrics_file &&
+        !oregami::metrics::write_prometheus_file(*metrics_file)) {
+      std::cerr << "warning: cannot write metrics to '" << *metrics_file
+                << "'\n";
+    }
+    std::cerr << (stats_json
+                      ? oregami::server::render_stats_line(stats, uptime_ms)
+                      : stats.to_json())
+              << "\n";
 
     if (trace_file || trace_summary) {
       oregami::trace::disable();
